@@ -1,0 +1,178 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* spanner vs BFS-tree backbone for the Theorem-6 discovery protocol —
+  isolates the contribution of bounded stretch to wake-up latency;
+* CEN sibling-heap fan-out (pair vs single "next" pointer) — why the
+  paper hands each child *two* next-sibling ports;
+* flooding vs every advice scheme on one workload — the message-
+  complexity ladder of Table 1 in a single table.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.flooding import Flooding
+from repro.core.spanner_advice import SpannerAdvice, TreeSpannerAdvice
+from repro.core.sqrt_advice import SqrtThresholdAdvice
+from repro.graphs.generators import connected_erdos_renyi, star_graph
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def test_ablation_spanner_vs_tree_backbone():
+    """Same discovery protocol; spanner backbone trades messages for
+    latency on low-diameter dense inputs with far-away wake sources."""
+    n = 256
+    g = connected_erdos_renyi(n, 20.0 / n, seed=41)
+    awake = [next(iter(g.vertices()))]
+    rho = awake_distance(g, awake)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    rows = []
+    for algo in (SpannerAdvice(k=3, spanner_seed=3), TreeSpannerAdvice()):
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        rows.append(
+            {
+                "backbone": algo.name,
+                "edges": algo.last_spanner.num_edges,
+                "messages": r.messages,
+                "time": r.time_all_awake,
+                "rho": rho,
+            }
+        )
+        assert r.all_awake
+    print_table(rows, title="Ablation: spanner vs BFS-tree backbone")
+    spanner_row, tree_row = rows
+    # Tree uses fewest messages (n-1 edges), spanner bounded stretch.
+    assert tree_row["messages"] <= spanner_row["messages"]
+
+
+def test_ablation_message_ladder():
+    """The Table-1 message-complexity ladder on one dense workload:
+    tree advice < CEN < sqrt-threshold < flooding."""
+    n = 200
+    g = connected_erdos_renyi(n, 0.25, seed=43)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(
+        WakeSchedule.singleton(next(iter(g.vertices()))), UnitDelay()
+    )
+    rows = []
+    results = {}
+    for algo_factory in (
+        Fip06TreeAdvice,
+        ChildEncodingAdvice,
+        SqrtThresholdAdvice,
+        Flooding,
+    ):
+        algo = algo_factory()
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        results[algo.name] = r
+        rows.append(
+            {
+                "algorithm": algo.name,
+                "messages": r.messages,
+                "time": r.time_all_awake,
+                "adv_max": r.advice_max_bits,
+            }
+        )
+    print_table(rows, title="Ablation: message ladder on dense ER (n=200)")
+    assert (
+        results["fip06-tree-advice"].messages
+        <= results["child-encoding"].messages
+        <= results["sqrt-threshold-advice"].messages + 1
+        <= results["flooding"].messages
+    )
+
+
+def test_ablation_cen_pair_fanout():
+    """The sibling heap's branching factor 2 gives log2(t) discovery
+    depth; a single next pointer would be Theta(t).  We measure CEN's
+    star latency against both predictions."""
+    n = 513  # 512 leaves
+    g = star_graph(n)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+    r = run_wakeup(setup, ChildEncodingAdvice(), adversary, engine="async", seed=2)
+    t = n - 1
+    linear_prediction = t  # single-pointer chain
+    log_prediction = 2 * math.log2(t)
+    print(
+        f"\nstar({t} leaves): CEN wake latency {r.time_all_awake} "
+        f"(log prediction ~{log_prediction:.0f}, chain would be ~{linear_prediction})"
+    )
+    assert r.time_all_awake <= 3 * log_prediction
+    assert r.time_all_awake < linear_prediction / 4
+
+
+def test_ablation_representative_run(benchmark):
+    n = 128
+    g = connected_erdos_renyi(n, 16.0 / n, seed=47)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(
+        WakeSchedule.singleton(next(iter(g.vertices()))), UnitDelay()
+    )
+
+    def run():
+        return run_wakeup(
+            setup, TreeSpannerAdvice(), adversary, engine="async", seed=3
+        )
+
+    result = benchmark(run)
+    assert result.all_awake
+
+
+def test_ablation_random_ranks_vs_id_only():
+    """Why Theorem 3 needs random ranks: an adversary waking nodes one
+    at a time in increasing-ID order displaces an ID-keyed traversal on
+    every wave, while random ranks make each displacement succeed only
+    with probability ~1/i (the paper's Claim-3 argument)."""
+    from repro.core.dfs_wakeup import DfsWakeUp
+    from repro.sim.adversary import WakeSchedule
+
+    n = 150
+    g = connected_erdos_renyi(n, 5.0 / n, seed=3)
+    setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=1)
+    by_id = sorted(g.vertices(), key=setup.id_of)
+    rows = []
+    ratios = []
+    for waves in (5, 10, 20, 40):
+        sched = WakeSchedule.sequential(by_id[:waves], gap=20.0)
+        means = {}
+        for label, exp in (("ranks", 4), ("id-only", 0)):
+            msgs = []
+            for seed in range(5):
+                r = run_wakeup(
+                    setup,
+                    DfsWakeUp(rank_exponent=exp),
+                    Adversary(sched, UnitDelay()),
+                    engine="async",
+                    seed=seed,
+                )
+                assert r.all_awake
+                msgs.append(r.messages)
+            means[label] = sum(msgs) / len(msgs)
+        rows.append(
+            {
+                "waves": waves,
+                "ranks_msgs": means["ranks"],
+                "id_only_msgs": means["id-only"],
+                "ratio": means["id-only"] / means["ranks"],
+            }
+        )
+        ratios.append(means["id-only"] / means["ranks"])
+    print_table(
+        rows,
+        title="Ablation: random ranks vs ID-only under sequential wake-ups",
+    )
+    # the adversary's advantage over the rank-free variant grows with
+    # the number of waves and is decisive by 20+
+    assert ratios[-1] > 1.5
+    assert ratios[-1] >= ratios[0]

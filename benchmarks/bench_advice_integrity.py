@@ -1,0 +1,75 @@
+"""Advice-integrity ablation: corrupt advice bits, measure failures.
+
+The dual of Theorem 1's information argument: if advice bits carry
+~1 bit of load-bearing information each, flipping them must break the
+schemes — and it does, at rates that separate the schemes by their
+redundancy.  (Outside the paper's model; a robustness study for the
+"advice = provisioned configuration" deployment story.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.sqrt_advice import SqrtThresholdAdvice
+from repro.experiments.corruption import corruption_curve
+from repro.graphs.generators import connected_erdos_renyi
+from repro.models.knowledge import Knowledge, make_setup
+
+
+@pytest.fixture(scope="module")
+def curves():
+    g = connected_erdos_renyi(60, 0.12, seed=3)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    flip_counts = [0, 2, 8, 32]
+    out = {}
+    for factory in (Fip06TreeAdvice, SqrtThresholdAdvice, ChildEncodingAdvice):
+        out[factory().name] = corruption_curve(
+            setup, factory, [0], flip_counts=flip_counts, trials=12, seed=5
+        )
+    return out
+
+
+def test_advice_integrity_table(curves):
+    rows = []
+    for name, points in curves.items():
+        for p in points:
+            rows.append(
+                {
+                    "scheme": name,
+                    "flips": p.flips,
+                    "ok": p.ok,
+                    "asleep": p.asleep,
+                    "error": p.error,
+                    "failure_rate": p.failure_rate,
+                }
+            )
+    print_table(rows, title="Advice integrity: failure rate vs flipped bits")
+
+
+def test_zero_flips_never_fail(curves):
+    for points in curves.values():
+        assert points[0].failure_rate == 0.0
+
+
+def test_failure_grows_with_corruption(curves):
+    for name, points in curves.items():
+        rates = [p.failure_rate for p in points]
+        assert rates[-1] >= rates[1], name
+        assert rates[-1] > 0.4, name
+
+
+def test_advice_integrity_representative_run(benchmark):
+    g = connected_erdos_renyi(40, 0.15, seed=7)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+
+    def run():
+        return corruption_curve(
+            setup, ChildEncodingAdvice, [0], flip_counts=[4], trials=4, seed=2
+        )
+
+    points = benchmark(run)
+    assert points[0].trials == 4

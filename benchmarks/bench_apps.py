@@ -1,0 +1,94 @@
+"""Applications layer — the cost of building on wake-up.
+
+Sec 1.3 relates wake-up to leader election and spanning-tree problems;
+the apps layer realizes those reductions.  This bench measures their
+overhead over the bare Theorem-3 wake-up (announcements ride the
+winner's DFS tree: O(n) extra messages) and the broadcast-at-wake-up
+price of the Theorem-5B payload carrier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.apps import FloodingBroadcast, LeaderElection, TreeBroadcast
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.graphs.generators import connected_erdos_renyi
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def test_leader_election_overhead():
+    rows = []
+    for n in (64, 128, 256):
+        g = connected_erdos_renyi(n, 6.0 / n, seed=n)
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=1)
+        schedule = WakeSchedule.random_subset(g, max(2, n // 16), seed=2)
+        adversary = Adversary(schedule, UnitDelay())
+        bare = run_wakeup(setup, DfsWakeUp(), adversary, engine="async", seed=3)
+        algo = LeaderElection()
+        le = run_wakeup(setup, algo, adversary, engine="async", seed=3)
+        rows.append(
+            {
+                "n": n,
+                "wakeup_msgs": bare.messages,
+                "election_msgs": le.messages,
+                "overhead": le.messages - bare.messages,
+                "leader": algo.agreed_leader() is not None,
+                "tree": algo.spanning_tree() is not None,
+            }
+        )
+        assert algo.agreed_leader() is not None
+        assert algo.spanning_tree() is not None
+        assert le.messages - bare.messages <= 3 * (n - 1)
+    print_table(rows, title="Leader election: overhead over bare wake-up")
+
+
+def test_broadcast_price_comparison():
+    n = 256
+    g = connected_erdos_renyi(n, 16.0 / n, seed=5)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    source = next(iter(g.vertices()))
+    adversary = Adversary(WakeSchedule.singleton(source), UnitDelay())
+    rows = []
+    flood = FloodingBroadcast(payload=12345)
+    rf = run_wakeup(setup, flood, adversary, engine="async", seed=2)
+    rows.append(
+        {
+            "carrier": flood.name,
+            "messages": rf.messages,
+            "time": rf.time_all_awake,
+            "complete": flood.everyone_holds_payload(setup),
+        }
+    )
+    tree = TreeBroadcast(payload=12345)
+    tree.mark_source(source)
+    rt = run_wakeup(setup, tree, adversary, engine="async", seed=2)
+    rows.append(
+        {
+            "carrier": tree.name,
+            "messages": rt.messages,
+            "time": rt.time_all_awake,
+            "complete": tree.everyone_holds_payload(setup),
+        }
+    )
+    print_table(rows, title="Broadcast at wake-up prices (n=256 dense ER)")
+    assert flood.everyone_holds_payload(setup)
+    assert tree.everyone_holds_payload(setup)
+    assert rt.messages * 3 < rf.messages
+
+
+def test_apps_representative_run(benchmark):
+    g = connected_erdos_renyi(128, 6.0 / 128, seed=9)
+    setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=1)
+    adversary = Adversary(WakeSchedule.random_subset(g, 6, seed=3), UnitDelay())
+
+    def run():
+        algo = LeaderElection()
+        run_wakeup(setup, algo, adversary, engine="async", seed=4)
+        return algo
+
+    algo = benchmark(run)
+    assert algo.agreed_leader() is not None

@@ -1,0 +1,74 @@
+"""Figure 1 — unused-port independence on class 𝒢 (the KT0 argument).
+
+The figure's point: whatever a center learns from messages and advice,
+the mapping of its *unused* ports stays (conditionally) uniform.  We
+measure the two quantities the surrounding text manipulates:
+
+* the Sml_i event frequencies (Lemma 2): how many centers touch at most
+  n/2^beta ports;
+* the conditional uncertainty of the pendant port given the advice:
+  H[X_i | Y_i] measured over resampled port mappings, compared with
+  Lemma 3's log2(n / 2^{beta-1}) + O(1) ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.information import conditional_entropy, entropy
+from repro.analysis.report import print_table
+from repro.lowerbounds.theorem1 import (
+    advice_port_samples,
+    small_port_usage_fraction,
+)
+
+
+def test_fig1_sml_event_frequencies():
+    rows = []
+    n = 64
+    for beta in (0, 1, 2, 3, 4):
+        frac = small_port_usage_fraction(n, beta=beta, seed=1)
+        rows.append(
+            {"beta": beta, "threshold n/2^b": n / 2**beta, "frac_small": frac}
+        )
+    print_table(rows, title="Figure 1 / Lemma 2: Sml_i frequencies on 𝒢(64)")
+    fracs = [r["frac_small"] for r in rows]
+    # beta=0 threshold (= n) is below the degree n+1: nobody is small;
+    # from beta>=1 the prefix scheme probes ~deg/2^beta << n/2^beta.
+    assert fracs[0] == 0.0
+    assert fracs[2] >= 0.5
+    assert fracs[1:] == sorted(fracs[1:])
+
+
+def test_fig1_conditional_port_entropy():
+    """H[X_i | advice] ~ log2(deg) - beta: each advice bit halves the
+    center's candidate set, and no more (Lemma 3's ceiling)."""
+    rows = []
+    n = 16
+    deg = n + 1
+    for beta in (0, 1, 2, 3):
+        pairs = advice_port_samples(n=n, beta=beta, samples=600, seed=beta)
+        h_x = entropy([x for x, _ in pairs])
+        h_cond = conditional_entropy(pairs)
+        rows.append(
+            {
+                "beta": beta,
+                "H[X]": h_x,
+                "H[X|Y]": h_cond,
+                "log2(deg)-beta": math.log2(deg) - beta,
+            }
+        )
+    print_table(rows, title="Figure 1 / Lemma 3: residual port uncertainty")
+    for row in rows:
+        # within estimation noise of the predicted residual entropy
+        assert abs(row["H[X|Y]"] - max(0, row["log2(deg)-beta"])) <= 0.8
+
+
+def test_fig1_representative_run(benchmark):
+    def run():
+        return small_port_usage_fraction(48, beta=2, seed=2)
+
+    frac = benchmark(run)
+    assert 0.0 <= frac <= 1.0

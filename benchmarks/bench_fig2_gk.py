@@ -1,0 +1,71 @@
+"""Figure 2 — the class-𝒢ₖ construction (Fact 1 across instances).
+
+Checks the three structural claims on every buildable instance and
+prints a table of their parameters, plus the D(k, q) girth profile
+against the [LUW95] guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.graphs.highgirth import dkq_graph
+from repro.graphs.traversal import girth
+from repro.lowerbounds.graph_gk import build_class_gk, verify_fact1
+
+INSTANCES = [(3, 2), (3, 3), (3, 4), (5, 2), (4, 3)]
+
+
+@pytest.fixture(scope="module")
+def built():
+    return {(k, q): build_class_gk(k, q) for k, q in INSTANCES}
+
+
+def test_fig2_fact1_table(built):
+    rows = []
+    for (k, q), inst in built.items():
+        checks = verify_fact1(inst)
+        g = girth(inst.graph)
+        rows.append(
+            {
+                "k": k,
+                "q": q,
+                "n/side": inst.n,
+                "center_deg": inst.center_degree,
+                "edges": inst.graph.num_edges,
+                "n^(1+1/k)": round(inst.n ** (1 + 1 / k)),
+                "girth": g,
+                "guarantee": inst.dkq.guaranteed_girth,
+                "fact1_ok": all(checks.values()),
+            }
+        )
+        assert all(checks.values()), (k, q, checks)
+    print_table(rows, title="Figure 2 / Fact 1: class 𝒢ₖ instances")
+
+
+def test_fig2_girth_scales_with_k():
+    girths = {}
+    for k, q in ((2, 3), (3, 3), (5, 2)):
+        girths[k] = girth(dkq_graph(k, q).graph)
+    # girth is nondecreasing in k and strictly grows over the range
+    # (small instances can overshoot their guarantee, so only the
+    # endpoints are compared strictly).
+    assert girths[2] <= girths[3] <= girths[5]
+    assert girths[5] > girths[2]
+
+
+def test_fig2_edge_density_matches_bound(built):
+    """|E| / n^{1+1/k} is a constant across instances (Fact 1.2)."""
+    ratios = []
+    for (k, q), inst in built.items():
+        ratios.append(inst.core_edge_count() / inst.n ** (1 + 1 / k))
+    assert all(0.9 <= r <= 1.1 for r in ratios)
+
+
+def test_fig2_representative_run(benchmark):
+    def run():
+        return build_class_gk(3, 3)
+
+    inst = benchmark(run)
+    assert inst.graph.num_vertices == 3 * 27

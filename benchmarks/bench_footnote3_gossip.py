@@ -1,0 +1,110 @@
+"""Footnote 3 / Sec 1.3 — the gossip boundary, measured.
+
+Push-only gossip solves broadcast on regular expanders [SS11] but
+footnote 3's lollipop (complete graph + pendant) defeats it: despite
+constant vertex expansion, the pendant waits Omega(n) expected rounds.
+Push-*pull* gossip fixes it — but pulling requires being awake, which
+is exactly why gossip does not transfer to the wake-up problem.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import print_table
+from repro.analysis.stats import median, summarize
+from repro.core.gossip import PushGossipWakeUp, PushPullBroadcast
+from repro.graphs.generators import lollipop_graph, random_regular
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def _push_pendant_wait(n: int, trials: int) -> float:
+    g = lollipop_graph(n, 1)
+    waits = []
+    for seed in range(trials):
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=seed)
+        adversary = Adversary(WakeSchedule.singleton(3), UnitDelay())
+        r = run_wakeup(
+            setup, PushGossipWakeUp(), adversary, engine="sync",
+            seed=seed, require_all_awake=False, max_rounds=10**6,
+        )
+        if n in r.wake_time:  # the pendant's vertex label is n
+            waits.append(r.wake_time[n])
+    return median(waits)
+
+
+def test_footnote3_pendant_wait_scales_linearly():
+    """Median pendant wake round grows ~linearly in n (push-only)."""
+    ns = [16, 32, 64]
+    waits = [_push_pendant_wait(n, trials=9) for n in ns]
+    rows = [
+        {"n": n, "median_pendant_round": w, "log2n": math.log2(n)}
+        for n, w in zip(ns, waits)
+    ]
+    print_table(rows, title="Footnote 3: push-only gossip on the lollipop")
+    fit = fit_power_law(ns, [max(1.0, w) for w in waits])
+    print(f"pendant wait ~ n^{fit.exponent:.2f}")
+    # Linear-ish in n (heavy-tailed sample medians: accept >= 0.5) and
+    # far above the logarithmic growth seen on expanders.
+    assert fit.exponent >= 0.5
+    assert waits[-1] > 4 * math.log2(ns[-1])
+
+
+def test_footnote3_push_works_on_regular_expanders():
+    """[SS11] contrast: on random 6-regular graphs, push-only wakes
+    everyone in O(log n) rounds."""
+    rows = []
+    for n in (64, 128, 256):
+        g = random_regular(n, 6, seed=n)
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup, PushGossipWakeUp(), adversary, engine="sync", seed=2,
+            max_rounds=10**6,
+        )
+        rows.append(
+            {"n": n, "rounds": r.time_all_awake, "8log2n": 8 * math.log2(n)}
+        )
+        assert r.all_awake
+        assert r.time_all_awake <= 8 * math.log2(n)
+    print_table(rows, title="[SS11]: push-only on 6-regular expanders")
+
+
+def test_footnote3_pull_rescues_broadcast():
+    """With the all-awake assumption (broadcast, not wake-up), push-pull
+    completes in O(log n) even on the lollipop."""
+    rows = []
+    for n in (32, 64):
+        g = lollipop_graph(n, 1)
+        rounds = []
+        for seed in range(5):
+            setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=seed)
+            algo = PushPullBroadcast(source_id=setup.id_of(3))
+            adversary = Adversary(
+                WakeSchedule.all_at_once(list(g.vertices())), UnitDelay()
+            )
+            run_wakeup(setup, algo, adversary, engine="sync", seed=seed)
+            assert algo.all_informed()
+            rounds.append(algo.completion_round())
+        rows.append(
+            {
+                "n": n,
+                "median_rounds": median(rounds),
+                "6log2n": 6 * math.log2(n),
+            }
+        )
+        assert median(rounds) <= 6 * math.log2(n)
+    print_table(rows, title="Push-pull broadcast on the lollipop (all awake)")
+
+
+def test_footnote3_representative_run(benchmark):
+    def run():
+        return _push_pendant_wait(24, trials=3)
+
+    wait = benchmark(run)
+    assert wait >= 1

@@ -1,0 +1,76 @@
+"""Sec 1.3 demonstration — star-sampling algorithms fail under
+adversarial wake-up.
+
+The paper observes that the King–Mashregi initialization (become a
+"star" w.p. 1/sqrt(n log n); silent high-degree non-stars) deadlocks
+with probability ~1 - 1/sqrt(n log n) when the adversary wakes exactly
+one high-degree node.  We measure that failure rate and contrast it
+with the paper's always-correct algorithms on the same inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.star_broadcast import StarBroadcast
+from repro.graphs.generators import complete_graph
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def failure_rate(n: int, trials: int, p: float | None = None) -> float:
+    g = complete_graph(n)
+    fails = 0
+    for seed in range(trials):
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=seed)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup,
+            StarBroadcast(star_probability=p, degree_threshold=5.0),
+            adversary,
+            engine="async",
+            seed=seed,
+            require_all_awake=False,
+        )
+        if not r.all_awake:
+            fails += 1
+    return fails / trials
+
+
+def test_star_failure_rate_tracks_prediction():
+    rows = []
+    trials = 60
+    for n in (32, 64, 128):
+        n_hat = 2 ** math.ceil(math.log2(n))
+        predicted = 1.0 - 1.0 / math.sqrt(n_hat * math.log(n_hat))
+        measured = failure_rate(n, trials)
+        rows.append(
+            {"n": n, "predicted_fail": predicted, "measured_fail": measured}
+        )
+        assert measured >= predicted - 0.25
+    print_table(
+        rows,
+        title="Sec 1.3: star-sampling failure under single high-degree wake-up",
+    )
+
+
+def test_paper_algorithms_never_fail_on_same_input():
+    g = complete_graph(64)
+    for seed in range(20):
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=seed)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(setup, DfsWakeUp(), adversary, engine="async", seed=seed)
+        assert r.all_awake  # Las Vegas: correctness with certainty
+
+
+def test_star_failure_representative_run(benchmark):
+    def run():
+        return failure_rate(32, trials=10)
+
+    rate = benchmark(run)
+    assert 0.0 <= rate <= 1.0

@@ -1,0 +1,85 @@
+"""Table 1, row "Theorem 2" (lower bound) — time-restricted message
+complexity on class 𝒢ₖ, KT1 LOCAL.
+
+Paper claim: any (k+1)-time algorithm sends Omega(n^{1+1/k}) messages.
+Executable validation: (a) the one-shot matching upper bound tracks
+n^{1+1/k} exactly across q; (b) every implemented constant-time-capable
+algorithm pays at least that; (c) the unrestricted-time DFS undercuts
+edge-proportional traffic, showing the restriction is necessary.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import best_exponent_model
+from repro.analysis.report import print_table
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.flooding import Flooding
+from repro.lowerbounds.theorem2 import OneShotProbe, run_time_restricted
+
+
+@pytest.fixture(scope="module")
+def probe_points():
+    # k = 3: n = q^3 per side.
+    return [
+        run_time_restricted(3, q, OneShotProbe(), seed=q)
+        for q in (3, 4, 5, 7)
+    ]
+
+
+def test_theorem2_matching_upper_bound_shape(probe_points):
+    rows = [
+        {
+            "k": p.k,
+            "q": p.q,
+            "n": p.n,
+            "messages": p.messages,
+            "n^(1+1/k)": p.lb_bound,
+            "ratio": p.messages / p.lb_bound,
+        }
+        for p in probe_points
+    ]
+    print_table(
+        rows,
+        title="Theorem 2: one-shot probe on 𝒢ₖ (matches the LB shape)",
+    )
+    for p in probe_points:
+        assert 0.9 <= p.messages / p.lb_bound <= 2.5
+    ns = [p.n for p in probe_points]
+    ys = [p.messages for p in probe_points]
+    best, errs = best_exponent_model(ns, ys, [1.0, 4 / 3, 1.5, 2.0])
+    print(f"best exponent {best:.3f} (errors {errs})")
+    assert best == pytest.approx(4 / 3)
+
+
+def test_theorem2_constant_time_algorithms_pay_the_bound(probe_points):
+    """Flooding (the other constant-time option) pays even more."""
+    for p in probe_points[:2]:
+        flood = run_time_restricted(p.k, p.q, Flooding(), seed=1)
+        assert flood.messages >= p.lb_bound
+        assert flood.time <= p.k + 2
+
+
+def test_theorem2_time_restriction_is_necessary():
+    """Unrestricted time escapes the bound: DFS sends less than
+    edge-count traffic but takes Theta(n) time (Thm 3 remark)."""
+    k, q = 3, 5
+    flood = run_time_restricted(k, q, Flooding(), seed=2)
+    dfs = run_time_restricted(k, q, DfsWakeUp(), seed=2)
+    print(
+        f"\n𝒢_3(q=5): flooding {flood.messages} msgs in {flood.time:.0f}t "
+        f"vs dfs {dfs.messages} msgs in {dfs.time:.0f}t"
+    )
+    assert dfs.messages < flood.messages
+    assert dfs.time > 20 * flood.time
+
+
+def test_theorem2_representative_run(benchmark):
+    def run():
+        return run_time_restricted(3, 5, OneShotProbe(), seed=3)
+
+    point = benchmark(run)
+    assert point.messages > 0

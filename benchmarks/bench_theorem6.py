@@ -1,0 +1,112 @@
+"""Table 1, row "Theorem 6" — spanner-based advice, async KT0 CONGEST.
+
+Paper claims (parameter k): O(k rho_awk log n) time,
+O(k n^{1+1/k} log n) messages, O(n^{1/k} log^2 n) advice.  The bench
+sweeps k to trace the three-way trade-off on a fixed dense workload.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.spanner_advice import SpannerAdvice
+from repro.graphs.generators import connected_erdos_renyi
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+@pytest.fixture(scope="module")
+def k_sweep():
+    n = 256
+    g = connected_erdos_renyi(n, 24.0 / n, seed=23)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    awake = [next(iter(g.vertices()))]
+    rho = awake_distance(g, awake)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    rows = []
+    for k in (1, 2, 3, 4, 6):
+        algo = SpannerAdvice(k=k, spanner_seed=2)
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=3)
+        rows.append(
+            {
+                "k": k,
+                "n": n,
+                "rho": rho,
+                "spanner_edges": algo.last_spanner.num_edges,
+                "messages": r.messages,
+                "time": r.time_all_awake,
+                "adv_avg": r.advice_avg_bits,
+                "adv_max": r.advice_max_bits,
+            }
+        )
+        assert r.all_awake
+    return rows
+
+
+def test_theorem6_tradeoff_table(k_sweep):
+    print_table(
+        k_sweep,
+        title="Theorem 6: spanner advice trade-off in k (n=256, dense ER)",
+    )
+    # Messages track spanner size: each spanner edge carries O(1).
+    for row in k_sweep:
+        assert row["messages"] <= 4 * row["spanner_edges"]
+
+
+def test_theorem6_messages_shrink_with_k(k_sweep):
+    """Growing k sparsifies the spanner: messages fall monotonically
+    (up to randomized-spanner noise), while time rises with stretch."""
+    msgs = [row["messages"] for row in k_sweep]
+    assert msgs[-1] < msgs[0] / 2
+    times = [row["time"] for row in k_sweep]
+    assert times[-1] >= times[0]
+
+
+def test_theorem6_advice_shrinks_with_k(k_sweep):
+    adv = [row["adv_avg"] for row in k_sweep]
+    assert adv[-1] < adv[0]
+
+
+def test_theorem6_message_exponent_vs_n():
+    """Fix k = 3, sweep n on dense inputs: messages should grow like
+    the spanner size n^{1+1/3}, far below the m ~ n^2 of flooding."""
+    from repro.analysis.fitting import best_exponent_model
+
+    ns = [64, 128, 256]
+    ys = []
+    for n in ns:
+        g = connected_erdos_renyi(n, 0.3, seed=n)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        adversary = Adversary(
+            WakeSchedule.all_at_once(list(g.vertices())), UnitDelay()
+        )
+        r = run_wakeup(
+            setup, SpannerAdvice(k=3, spanner_seed=4), adversary,
+            engine="async", seed=2,
+        )
+        ys.append(r.messages)
+    best, errs = best_exponent_model(ns, ys, [1.0, 4 / 3, 2.0])
+    print(f"\nk=3 message exponent: best={best:.3f}, errors={errs}")
+    assert best != 2.0  # decisively below the flooding exponent
+
+
+def test_theorem6_representative_run(benchmark):
+    g = connected_erdos_renyi(256, 24.0 / 256, seed=23)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(
+        WakeSchedule.singleton(next(iter(g.vertices()))), UnitDelay()
+    )
+
+    def run():
+        return run_wakeup(
+            setup, SpannerAdvice(k=3, spanner_seed=2), adversary,
+            engine="async", seed=3,
+        )
+
+    result = benchmark(run)
+    assert result.all_awake

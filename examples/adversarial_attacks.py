@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Adversarial wake-up attacks — why "all-awake" algorithms break.
+
+Reproduces the paper's Sec-1.3 observation: protocols designed under
+the all-awake assumption (here, King–Mashregi-style star sampling) can
+be deadlocked by an adversary that wakes exactly one high-degree node,
+while the paper's Las Vegas algorithms shrug it off.  Also demonstrates
+the staggered "anti-rank" wake-up pattern the Theorem-3 analysis
+defends against, and adversarial message delays.
+
+Run:  python examples/adversarial_attacks.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.report import print_table
+from repro.core import DfsWakeUp
+from repro.core.star_broadcast import StarBroadcast
+from repro.graphs.generators import complete_graph, connected_erdos_renyi
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import (
+    Adversary,
+    SlowEdgeDelay,
+    UnitDelay,
+    WakeSchedule,
+)
+from repro.sim.runner import run_wakeup
+
+
+def attack_one_star_sampling() -> None:
+    print("=" * 72)
+    print("Attack 1: wake a single high-degree node (Sec 1.3)")
+    print("=" * 72)
+    n = 64
+    g = complete_graph(n)
+    trials = 50
+    rows = []
+    for name, algo_factory in (
+        ("star-broadcast (all-awake design)", lambda: StarBroadcast(degree_threshold=5.0)),
+        ("dfs-rank (Theorem 3)", DfsWakeUp),
+    ):
+        fails = 0
+        for seed in range(trials):
+            setup = make_setup(
+                g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=seed
+            )
+            adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+            r = run_wakeup(
+                setup, algo_factory(), adversary, engine="async",
+                seed=seed, require_all_awake=False,
+            )
+            if not r.all_awake:
+                fails += 1
+        rows.append(
+            {"algorithm": name, "trials": trials, "failures": fails,
+             "failure_rate": fails / trials}
+        )
+    print_table(rows)
+    n_hat = 2 ** math.ceil(math.log2(n))
+    print(
+        f"predicted star-sampling failure rate: "
+        f"1 - 1/sqrt(n log n) = {1 - 1 / math.sqrt(n_hat * math.log(n_hat)):.3f}"
+    )
+
+
+def attack_two_anti_rank_staggering() -> None:
+    print()
+    print("=" * 72)
+    print("Attack 2: staggered anti-rank wake-ups against the DFS tokens")
+    print("=" * 72)
+    n = 300
+    g = connected_erdos_renyi(n, 6.0 / n, seed=5)
+    rows = []
+    for label, schedule in (
+        ("all at once", WakeSchedule.random_subset(g, 16, seed=1)),
+        (
+            "anti-rank staggered",
+            WakeSchedule.anti_rank_staggered(g, waves=5, gap=2 * n, seed=1),
+        ),
+    ):
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=2)
+        adversary = Adversary(schedule, UnitDelay())
+        r = run_wakeup(setup, DfsWakeUp(), adversary, engine="async", seed=3)
+        rows.append(
+            {
+                "schedule": label,
+                "wake_events": len(schedule),
+                "messages": r.messages,
+                "time": round(r.time, 1),
+                "ok": r.all_awake,
+            }
+        )
+    print_table(rows)
+    print(
+        "The adversary can stretch the execution by waking fresh nodes "
+        "late, but Theorem 3's rank analysis caps the damage at an "
+        "O(log n) factor: correctness is never at risk (Las Vegas)."
+    )
+
+
+def attack_three_slow_edges() -> None:
+    print()
+    print("=" * 72)
+    print("Attack 3: adversarially slow links")
+    print("=" * 72)
+    n = 200
+    g = connected_erdos_renyi(n, 8.0 / n, seed=9)
+    verts = list(g.vertices())
+    # Slow down every link incident to the woken node except one.
+    woken = verts[0]
+    nbrs = g.neighbors(woken)
+    slow = [(woken, u) for u in nbrs[1:]]
+    rows = []
+    for label, delays in (
+        ("unit delays", UnitDelay()),
+        ("slow incident links", SlowEdgeDelay(slow, fast=0.05)),
+    ):
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=4)
+        adversary = Adversary(WakeSchedule.singleton(woken), delays)
+        r = run_wakeup(setup, DfsWakeUp(), adversary, engine="async", seed=6)
+        rows.append(
+            {"delays": label, "messages": r.messages,
+             "time": round(r.time, 2), "ok": r.all_awake}
+        )
+    print_table(rows)
+    print(
+        "Delays are normalized to tau = 1, so even maximally slowed "
+        "links cost at most one time unit each; correctness is "
+        "delay-independent."
+    )
+
+
+if __name__ == "__main__":
+    attack_one_star_sampling()
+    attack_two_anti_rank_staggering()
+    attack_three_slow_edges()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""The information-sensitivity landscape — advice vs messages vs time.
+
+Walks the three trade-off axes the paper maps out for KT0 CONGEST
+advising schemes:
+
+1. the Theorem-1 frontier on the lower-bound class 𝒢: beta bits of
+   advice buy a 2^beta reduction in messages, and no scheme can do
+   asymptotically better;
+2. the Table-1 ladder (Cor 1 / Thm 5A / Thm 5B / Cor 2) on a realistic
+   network: four points trading maximum advice against messages/time;
+3. the Theorem-6 k-dial: one scheme whose knob slides between
+   "tree-like" (few messages, slow) and "dense spanner" (many
+   messages, fast).
+
+Run:  python examples/advice_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.report import print_table
+from repro.core import (
+    ChildEncodingAdvice,
+    Fip06TreeAdvice,
+    LogSpannerAdvice,
+    SpannerAdvice,
+    SqrtThresholdAdvice,
+)
+from repro.graphs.generators import connected_erdos_renyi
+from repro.graphs.traversal import awake_distance
+from repro.lowerbounds.theorem1 import run_prefix_tradeoff, theorem1_message_bound
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def frontier() -> None:
+    print("=" * 72)
+    print("1. The Theorem-1 frontier on class 𝒢 (n = 48)")
+    print("=" * 72)
+    points = run_prefix_tradeoff(n=48, betas=[0, 1, 2, 3, 4, 5], trials=2, seed=1)
+    rows = [
+        {
+            "beta": p.beta,
+            "messages": int(p.messages),
+            "advice_avg_bits": round(p.advice_avg_bits, 2),
+            "msgs x 2^beta": int(p.product),
+            "thm1_threshold": round(p.lb_message_bound, 1),
+        }
+        for p in points
+    ]
+    print_table(rows)
+    print(
+        "messages x 2^beta stays ~n^2: every advice bit buys a factor-2\n"
+        "message saving, exactly the exchange rate Theorem 1 proves to be\n"
+        "optimal."
+    )
+
+
+def ladder() -> None:
+    print()
+    print("=" * 72)
+    print("2. The Table-1 advising-scheme ladder (dense ER, n = 300)")
+    print("=" * 72)
+    n = 300
+    g = connected_erdos_renyi(n, 0.15, seed=3)
+    awake = [next(iter(g.vertices()))]
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    rows = []
+    for label, algo in (
+        ("Cor 1 (tree ports)", Fip06TreeAdvice()),
+        ("Thm 5A (sqrt threshold)", SqrtThresholdAdvice()),
+        ("Thm 5B (child encoding)", ChildEncodingAdvice()),
+        ("Cor 2 (log spanner)", LogSpannerAdvice()),
+    ):
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        rows.append(
+            {
+                "scheme": label,
+                "adv_max_bits": r.advice_max_bits,
+                "adv_avg_bits": round(r.advice_avg_bits, 1),
+                "messages": r.messages,
+                "time": round(r.time_all_awake, 1),
+            }
+        )
+    print_table(rows)
+
+
+def k_dial() -> None:
+    print()
+    print("=" * 72)
+    print("3. The Theorem-6 k-dial (dense ER, n = 256, everyone awake)")
+    print("=" * 72)
+    n = 256
+    g = connected_erdos_renyi(n, 24.0 / n, seed=7)
+    awake = [next(iter(g.vertices()))]
+    rho = awake_distance(g, awake)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    rows = []
+    for k in (1, 2, 3, 5, int(math.log2(n))):
+        algo = SpannerAdvice(k=k, spanner_seed=4)
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        rows.append(
+            {
+                "k": k,
+                "stretch 2k-1": 2 * k - 1,
+                "spanner_edges": algo.last_spanner.num_edges,
+                "messages": r.messages,
+                "time": round(r.time_all_awake, 1),
+                "adv_avg_bits": round(r.advice_avg_bits, 1),
+            }
+        )
+    print_table(rows)
+    print(f"(rho_awk = {rho}; time grows with the spanner stretch 2k-1)")
+
+
+if __name__ == "__main__":
+    frontier()
+    ladder()
+    k_dial()

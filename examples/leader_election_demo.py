@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Leader election and configuration broadcast — the library as a
+downstream dependency.
+
+Sec 1.3 of the paper motivates wake-up through leader election and MST
+under adversarial wake-up.  This example plays the adopter: a cluster
+of machines is partially woken by external events at different times;
+the cluster must elect a coordinator, agree on a spanning tree for
+future control traffic, and distribute a configuration blob — all built
+on the repro library's public API.
+
+Run:  python examples/leader_election_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_table
+from repro.apps import FloodingBroadcast, LeaderElection, TreeBroadcast
+from repro.graphs.generators import connected_erdos_renyi
+from repro.graphs.traversal import diameter, is_tree
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UniformRandomDelay, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def main() -> None:
+    n = 150
+    g = connected_erdos_renyi(n, 8.0 / n, seed=21)
+    print(f"cluster: {n} machines, {g.num_edges} links, diameter {diameter(g)}")
+
+    print()
+    print("=" * 72)
+    print("1. Leader election under staggered adversarial wake-ups")
+    print("=" * 72)
+    verts = list(g.vertices())
+    schedule = WakeSchedule.staggered(
+        [(0.0, verts[:3]), (25.0, verts[50:52]), (75.0, verts[100:101])]
+    )
+    setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=2)
+    algo = LeaderElection()
+    result = run_wakeup(
+        setup, algo,
+        Adversary(schedule, UniformRandomDelay(seed=5)),
+        engine="async", seed=7,
+    )
+    leader = algo.agreed_leader()
+    tree = algo.spanning_tree()
+    print(
+        f"woken in 3 waves; elected leader id {leader}; "
+        f"spanning tree valid: {tree is not None and is_tree(tree)}; "
+        f"{result.messages} messages, time {result.time:.1f}"
+    )
+
+    print()
+    print("=" * 72)
+    print("2. Configuration broadcast: flooding vs tree advice")
+    print("=" * 72)
+    setup0 = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=2)
+    rows = []
+    flood = FloodingBroadcast(payload=0xC0FFEE % 65536)
+    r1 = run_wakeup(
+        setup0, flood,
+        Adversary(WakeSchedule.singleton(verts[0]), UnitDelay()),
+        engine="async", seed=3,
+    )
+    rows.append(
+        {
+            "strategy": "flooding-broadcast",
+            "messages": r1.messages,
+            "time": round(r1.time_all_awake, 1),
+            "complete": flood.everyone_holds_payload(setup0),
+            "advice_bits": 0,
+        }
+    )
+    tb = TreeBroadcast(payload=0xC0FFEE % 65536)
+    tb.mark_source(verts[0])
+    r2 = run_wakeup(
+        setup0, tb,
+        Adversary(WakeSchedule.singleton(verts[0]), UnitDelay()),
+        engine="async", seed=3,
+    )
+    rows.append(
+        {
+            "strategy": "tree-broadcast (Thm 5B)",
+            "messages": r2.messages,
+            "time": round(r2.time_all_awake, 1),
+            "complete": tb.everyone_holds_payload(setup0),
+            "advice_bits": r2.advice_max_bits,
+        }
+    )
+    print_table(rows)
+    print(
+        f"\nthe Theorem-5B backbone distributes the config in "
+        f"{r2.messages} messages ({r1.messages / r2.messages:.1f}x fewer), "
+        "for a few bytes of provisioned advice per machine."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart — run every Table-1 algorithm on one network.
+
+This script builds a random connected network, lets the adversary wake
+a handful of nodes, and runs each of the paper's algorithms in its
+declared model, printing the measured time / messages / advice columns
+next to the paper's asymptotic claims.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import quick_run
+from repro.analysis.report import print_table
+from repro.core import algorithm_names, get_algorithm
+from repro.experiments import measure_table1, render_table1, workload_context
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+
+    print("=" * 72)
+    print("1. One-liner: repro.quick_run()")
+    print("=" * 72)
+    result = quick_run("dfs-rank", n=n, awake=max(1, n // 20), seed=1)
+    print(
+        f"dfs-rank on a random {n}-node network: "
+        f"{result.messages} messages, time {result.time:.1f}, "
+        f"all awake: {result.all_awake}"
+    )
+
+    print()
+    print("=" * 72)
+    print("2. Every registered algorithm")
+    print("=" * 72)
+    rows = []
+    for name in algorithm_names():
+        if name in ("prefix-advice", "star-broadcast", "echo-flooding", "push-gossip"):
+            continue  # specialized demos; see the other examples
+        algo = get_algorithm(name)
+        r = quick_run(name, n=n, awake=max(1, n // 20), seed=2)
+        rows.append(
+            {
+                "algorithm": name,
+                "model": (
+                    f"{'KT1' if algo.requires_kt1 else 'KT0'}/"
+                    f"{'CONGEST' if algo.congest_safe else 'LOCAL'}"
+                ),
+                "messages": r.messages,
+                "time": r.time,
+                "adv_max_bits": r.advice_max_bits,
+                "ok": r.all_awake,
+            }
+        )
+    print_table(rows)
+
+    print()
+    print("=" * 72)
+    print("3. The full Table-1 reproduction (shared workload)")
+    print("=" * 72)
+    ctx = workload_context(n=n, seed=4)
+    print(
+        f"workload: n={ctx['n']:.0f}, m={ctx['m']:.0f}, "
+        f"D={ctx['diameter']:.0f}, rho_awk={ctx['rho_awk']:.0f}"
+    )
+    print(render_table1(measure_table1(n=n, seed=4)))
+
+
+if __name__ == "__main__":
+    main()

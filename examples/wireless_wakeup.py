@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Wake-on-Wireless-LAN — the paper's second motivating standard.
+
+A field of battery-powered radios (a random geometric graph: each radio
+hears only radios within range) sleeps to save energy.  A gateway must
+wake the whole field.  Two costs matter:
+
+* transmissions — each packet costs the sender radio energy;
+* listening time — every awake radio burns idle power until the
+  operation completes (the awake-time integral of the run).
+
+This example compares flooding, the Theorem-5B child-encoding scheme,
+and push gossip on that energy model, across field densities.
+
+Run:  python examples/wireless_wakeup.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_table
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.flooding import Flooding
+from repro.core.gossip import PushGossipWakeUp
+from repro.graphs.generators import random_geometric
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+TX_COST_UJ = 50.0  # energy per transmission
+IDLE_COST_UJ_PER_TAU = 3.0  # awake listening power per time unit
+
+
+def energy(result) -> float:
+    return (
+        result.messages * TX_COST_UJ
+        + result.metrics.total_awake_time() * IDLE_COST_UJ_PER_TAU
+    )
+
+
+def main() -> None:
+    n = 120
+    for radius, label in ((0.18, "sparse field"), (0.4, "dense field")):
+        g = random_geometric(n, radius=radius, seed=31)
+        gateway = 0
+        rho = awake_distance(g, [gateway])
+        print("=" * 72)
+        print(
+            f"{label}: {n} radios, range {radius}, {g.num_edges} links, "
+            f"rho_awk {rho}"
+        )
+        print("=" * 72)
+        adversary = Adversary(WakeSchedule.singleton(gateway), UnitDelay())
+        rows = []
+        for algo, knowledge, bandwidth, engine in (
+            (Flooding(), Knowledge.KT0, "CONGEST", "async"),
+            (ChildEncodingAdvice(), Knowledge.KT0, "CONGEST", "async"),
+            (PushGossipWakeUp(active_rounds=64), Knowledge.KT1, "CONGEST", "sync"),
+        ):
+            setup = make_setup(
+                g, knowledge=knowledge, bandwidth=bandwidth, seed=7
+            )
+            r = run_wakeup(
+                setup, algo, adversary, engine=engine, seed=11,
+                require_all_awake=False,
+            )
+            rows.append(
+                {
+                    "strategy": algo.name
+                    + ("(64r)" if isinstance(algo, PushGossipWakeUp) else ""),
+                    "tx": r.messages,
+                    "wake_time": round(r.time_all_awake, 1),
+                    "energy (uJ)": round(energy(r)),
+                    "all_awake": r.all_awake,
+                    "advice_bits": r.advice_max_bits,
+                }
+            )
+        print_table(rows)
+        print()
+
+    print(
+        "On sparse fields the advice scheme wins outright (few links to\n"
+        "waste); on dense fields flooding's transmission bill explodes\n"
+        "while child-encoding stays linear — the Theorem-5B trade of a\n"
+        "log-factor of listening time for message-optimality, priced in\n"
+        "microjoules."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so `setup.py develop` works offline (no `wheel` package
+available in this environment; PEP 660 editable installs need it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run``     — run one algorithm on a generated network and print the
+  Table-1 measures (optionally a wake-wave timeline);
+* ``table1``  — print the measured Table-1 reproduction;
+* ``list``    — list registered algorithms;
+* ``sweep``   — sweep an algorithm over network sizes and print the
+  fitted message-growth exponent;
+* ``lowerbounds`` — run the Theorem-1 and Theorem-2 harnesses and print
+  their frontier/shape tables.
+
+Examples::
+
+    python -m repro list
+    python -m repro run dfs-rank --n 300 --awake 10 --seed 1 --wave
+    python -m repro table1 --n 200
+    python -m repro sweep child-encoding --sizes 64 128 256 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import render_table
+from repro.core import algorithm_names, get_algorithm
+from repro.experiments.sweeps import er_single_wake, sweep
+from repro.experiments.table1 import (
+    measure_table1,
+    render_table1,
+    workload_context,
+)
+from repro.graphs.generators import connected_erdos_renyi
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+from repro.sim.trace_view import render_wake_wave
+
+
+def _cmd_list(_args) -> int:
+    for name in algorithm_names():
+        algo = get_algorithm(name)
+        model = (
+            f"{'KT1' if algo.requires_kt1 else 'KT0'}/"
+            f"{'CONGEST' if algo.congest_safe else 'LOCAL'}/"
+            f"{algo.synchrony}"
+        )
+        advice = "advice" if algo.uses_advice else "no advice"
+        print(f"{name:24s} {model:22s} {advice}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    algo = get_algorithm(args.algorithm)
+    graph = connected_erdos_renyi(
+        args.n, args.degree / max(1, args.n - 1), seed=args.seed
+    )
+    rng = random.Random(args.seed + 1)
+    awake = rng.sample(list(graph.vertices()), max(1, args.awake))
+    knowledge = Knowledge.KT1 if algo.requires_kt1 else Knowledge.KT0
+    bandwidth = "CONGEST" if algo.congest_safe else "LOCAL"
+    engine = algo.synchrony if algo.synchrony in ("sync", "async") else "async"
+    setup = make_setup(
+        graph, knowledge=knowledge, bandwidth=bandwidth, seed=args.seed + 2
+    )
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    result = run_wakeup(
+        setup, algo, adversary, engine=engine, seed=args.seed + 3,
+        record_trace=args.wave,
+    )
+    rho = awake_distance(graph, awake)
+    print(
+        render_table(
+            [
+                {
+                    "algorithm": result.algorithm,
+                    "n": result.n,
+                    "m": graph.num_edges,
+                    "rho_awk": rho,
+                    "messages": result.messages,
+                    "bits": result.bits,
+                    "time": result.time,
+                    "time_all_awake": result.time_all_awake,
+                    "advice_max_bits": result.advice_max_bits,
+                    "all_awake": result.all_awake,
+                }
+            ]
+        )
+    )
+    if args.wave and result.trace is not None:
+        print()
+        print(render_wake_wave(result.trace))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    ctx = workload_context(n=args.n, seed=args.seed)
+    print(
+        f"workload: n={ctx['n']:.0f} m={ctx['m']:.0f} "
+        f"D={ctx['diameter']:.0f} rho_awk={ctx['rho_awk']:.0f}"
+    )
+    print(render_table1(measure_table1(n=args.n, seed=args.seed)))
+    return 0
+
+
+def _cmd_lowerbounds(args) -> int:
+    from repro.lowerbounds.theorem1 import run_prefix_tradeoff
+    from repro.lowerbounds.theorem2 import OneShotProbe, run_time_restricted
+
+    points = run_prefix_tradeoff(
+        n=args.n, betas=list(range(args.betas + 1)), trials=2, seed=args.seed
+    )
+    print(
+        render_table(
+            [
+                {
+                    "beta": p.beta,
+                    "messages": int(p.messages),
+                    "msgs*2^b": int(p.product),
+                    "adv_avg_bits": round(p.advice_avg_bits, 2),
+                    "thm1_threshold": round(p.lb_message_bound, 1),
+                }
+                for p in points
+            ],
+            title=f"Theorem 1 frontier on class G(n={args.n})",
+        )
+    )
+    print()
+    rows = []
+    for q in (3, 4, 5):
+        pt = run_time_restricted(3, q, OneShotProbe(), seed=args.seed)
+        rows.append(
+            {
+                "k": pt.k,
+                "q": pt.q,
+                "n_side": pt.n,
+                "messages": pt.messages,
+                "n^(1+1/k)": round(pt.lb_bound),
+                "ratio": round(pt.messages / pt.lb_bound, 2),
+            }
+        )
+    print(
+        render_table(
+            rows, title="Theorem 2 matching upper bound on class Gk (k=3)"
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    algo_factory = lambda: get_algorithm(args.algorithm)  # noqa: E731
+    probe = get_algorithm(args.algorithm)
+    knowledge = Knowledge.KT1 if probe.requires_kt1 else Knowledge.KT0
+    bandwidth = "CONGEST" if probe.congest_safe else "LOCAL"
+    engine = probe.synchrony if probe.synchrony in ("sync", "async") else "async"
+    rows = sweep(
+        algo_factory,
+        er_single_wake(avg_degree=args.degree, seed=args.seed),
+        sizes=args.sizes,
+        engine=engine,
+        knowledge=knowledge,
+        bandwidth=bandwidth,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(render_table([r.as_dict() for r in rows]))
+    fit = fit_power_law([r.n for r in rows], [r.messages for r in rows])
+    print(
+        f"\nmessages ~ {fit.constant:.2f} * n^{fit.exponent:.3f} "
+        f"(r^2 = {fit.r_squared:.3f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Adversarial wake-up reproduction (Robinson & Tan, PODC 2025)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered algorithms")
+
+    p_run = sub.add_parser("run", help="run one algorithm")
+    p_run.add_argument("algorithm", choices=algorithm_names())
+    p_run.add_argument("--n", type=int, default=200)
+    p_run.add_argument("--degree", type=float, default=6.0)
+    p_run.add_argument("--awake", type=int, default=1)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--wave", action="store_true", help="print the wake-up wave"
+    )
+
+    p_t1 = sub.add_parser("table1", help="measured Table-1 reproduction")
+    p_t1.add_argument("--n", type=int, default=200)
+    p_t1.add_argument("--seed", type=int, default=0)
+
+    p_lb = sub.add_parser(
+        "lowerbounds", help="Theorem 1/2 lower-bound harness tables"
+    )
+    p_lb.add_argument("--n", type=int, default=48)
+    p_lb.add_argument("--betas", type=int, default=5)
+    p_lb.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep", help="size sweep + exponent fit")
+    p_sweep.add_argument("algorithm", choices=algorithm_names())
+    p_sweep.add_argument(
+        "--sizes", type=int, nargs="+", default=[64, 128, 256]
+    )
+    p_sweep.add_argument("--degree", type=float, default=6.0)
+    p_sweep.add_argument("--trials", type=int, default=2)
+    p_sweep.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "table1": _cmd_table1,
+        "sweep": _cmd_sweep,
+        "lowerbounds": _cmd_lowerbounds,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

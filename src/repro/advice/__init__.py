@@ -1,0 +1,14 @@
+"""Advice framework: exact bit-level encoding plus the oracle interface."""
+
+from repro.advice.bits import BitReader, BitWriter, Bits, gamma_cost
+from repro.advice.oracle import AdviceMap, Oracle, empty_advice
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Bits",
+    "gamma_cost",
+    "AdviceMap",
+    "Oracle",
+    "empty_advice",
+]

@@ -1,0 +1,222 @@
+"""Exact bit-string encoding for oracle advice.
+
+Table 1 bounds advice in *bits per node*, so advice must be a genuine
+bit string, not a Python object whose size is hand-waved.  This module
+provides:
+
+* :class:`Bits` — an immutable bit string with O(1) length queries;
+* :class:`BitWriter` / :class:`BitReader` — streaming codecs with
+  fixed-width integers, unary, Elias-gamma, and length-prefixed list
+  encodings.
+
+Elias gamma is the workhorse: it encodes a positive integer x in
+2*floor(log2 x) + 1 bits, self-delimiting, which lets schemes pay
+O(log n) bits per port number without knowing n exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import AdviceError
+
+
+class Bits:
+    """An immutable sequence of bits (stored as a tuple of 0/1 ints)."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Iterable[int] = ()):
+        b = tuple(int(x) for x in bits)
+        if any(x not in (0, 1) for x in b):
+            raise AdviceError("bits must be 0 or 1")
+        self._bits = b
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self):
+        return iter(self._bits)
+
+    def __getitem__(self, i):
+        return self._bits[i]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bits):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __add__(self, other: "Bits") -> "Bits":
+        if not isinstance(other, Bits):
+            raise AdviceError("can only concatenate Bits with Bits")
+        new = Bits.__new__(Bits)
+        new._bits = self._bits + other._bits
+        return new
+
+    def to01(self) -> str:
+        """Render as a '0'/'1' string (debugging, golden tests)."""
+        return "".join(str(b) for b in self._bits)
+
+    @classmethod
+    def from01(cls, s: str) -> "Bits":
+        return cls(int(c) for c in s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.to01()
+        if len(s) > 40:
+            s = s[:40] + "..."
+        return f"Bits({len(self)}b:{s})"
+
+
+class BitWriter:
+    """Append-only bit stream builder."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    # -- primitives --------------------------------------------------------
+    def write_bit(self, b: int) -> "BitWriter":
+        """Append a single bit (0 or 1)."""
+        if b not in (0, 1):
+            raise AdviceError(f"bit must be 0 or 1, got {b!r}")
+        self._bits.append(b)
+        return self
+
+    def write_uint(self, value: int, width: int) -> "BitWriter":
+        """Fixed-width big-endian unsigned integer."""
+        if value < 0:
+            raise AdviceError("write_uint requires a nonnegative value")
+        if width < 0:
+            raise AdviceError("width must be nonnegative")
+        if value >= (1 << width):
+            raise AdviceError(
+                f"value {value} does not fit in {width} bits"
+            )
+        for i in reversed(range(width)):
+            self._bits.append((value >> i) & 1)
+        return self
+
+    def write_unary(self, value: int) -> "BitWriter":
+        """value zeros followed by a one (encodes value >= 0)."""
+        if value < 0:
+            raise AdviceError("unary encodes nonnegative values")
+        self._bits.extend([0] * value)
+        self._bits.append(1)
+        return self
+
+    def write_gamma(self, value: int) -> "BitWriter":
+        """Elias gamma for value >= 1: unary length then binary remainder."""
+        if value < 1:
+            raise AdviceError("Elias gamma encodes values >= 1")
+        width = value.bit_length() - 1
+        self.write_unary(width)
+        if width:
+            self.write_uint(value - (1 << width), width)
+        return self
+
+    def write_gamma0(self, value: int) -> "BitWriter":
+        """Gamma shifted to cover value >= 0."""
+        return self.write_gamma(value + 1)
+
+    # -- composites --------------------------------------------------------
+    def write_uint_list(self, values: Sequence[int], width: int) -> "BitWriter":
+        """Gamma-coded count followed by fixed-width entries."""
+        self.write_gamma0(len(values))
+        for v in values:
+            self.write_uint(v, width)
+        return self
+
+    def write_gamma_list(self, values: Sequence[int]) -> "BitWriter":
+        """Gamma-coded count followed by gamma0-coded entries."""
+        self.write_gamma0(len(values))
+        for v in values:
+            self.write_gamma0(v)
+        return self
+
+    def write_bits(self, bits: Bits) -> "BitWriter":
+        """Append an existing bit string verbatim."""
+        self._bits.extend(bits)
+        return self
+
+    # -- finish --------------------------------------------------------------
+    def getvalue(self) -> Bits:
+        """Freeze the written stream into an immutable :class:`Bits`."""
+        out = Bits.__new__(Bits)
+        out._bits = tuple(self._bits)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+
+class BitReader:
+    """Sequential decoder over a :class:`Bits` value."""
+
+    def __init__(self, bits: Bits):
+        self._bits = tuple(bits)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self._pos
+
+    def _take(self, k: int) -> Tuple[int, ...]:
+        if self._pos + k > len(self._bits):
+            raise AdviceError(
+                f"advice underflow: needed {k} bits, have {self.remaining}"
+            )
+        out = self._bits[self._pos: self._pos + k]
+        self._pos += k
+        return out
+
+    # -- primitives --------------------------------------------------------
+    def read_bit(self) -> int:
+        """Consume and return the next bit."""
+        return self._take(1)[0]
+
+    def read_uint(self, width: int) -> int:
+        """Consume a fixed-width big-endian unsigned integer."""
+        value = 0
+        for b in self._take(width):
+            value = (value << 1) | b
+        return value
+
+    def read_unary(self) -> int:
+        """Consume a unary value (count of zeros before the next one)."""
+        count = 0
+        while True:
+            if self.read_bit() == 1:
+                return count
+            count += 1
+
+    def read_gamma(self) -> int:
+        """Consume an Elias-gamma value (>= 1)."""
+        width = self.read_unary()
+        if width == 0:
+            return 1
+        return (1 << width) + self.read_uint(width)
+
+    def read_gamma0(self) -> int:
+        """Consume a shifted gamma value (>= 0)."""
+        return self.read_gamma() - 1
+
+    # -- composites --------------------------------------------------------
+    def read_uint_list(self, width: int) -> List[int]:
+        """Inverse of :meth:`BitWriter.write_uint_list`."""
+        count = self.read_gamma0()
+        return [self.read_uint(width) for _ in range(count)]
+
+    def read_gamma_list(self) -> List[int]:
+        """Inverse of :meth:`BitWriter.write_gamma_list`."""
+        count = self.read_gamma0()
+        return [self.read_gamma0() for _ in range(count)]
+
+
+def gamma_cost(value: int) -> int:
+    """Bit cost of Elias gamma for value >= 1 (2*floor(log2 v) + 1)."""
+    if value < 1:
+        raise AdviceError("Elias gamma encodes values >= 1")
+    return 2 * (value.bit_length() - 1) + 1

@@ -1,0 +1,81 @@
+"""The advising-scheme oracle framework (Sec 1.1, "computing with advice").
+
+An advising scheme is a pair (oracle, algorithm): the oracle observes
+the entire network — topology, IDs, port mappings — but *not* the set
+of initially awake nodes, and equips each node with a bit string.  The
+distributed algorithm may read its own advice only.
+
+:class:`AdviceMap` wraps the oracle output and computes the advice-
+length statistics Table 1 reports (maximum and average bits per node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.advice.bits import Bits
+from repro.errors import AdviceError
+from repro.models.knowledge import NetworkSetup
+
+Vertex = Hashable
+
+
+class AdviceMap:
+    """Oracle output: one :class:`Bits` string per vertex."""
+
+    def __init__(self, advice: Dict[Vertex, Bits]):
+        for v, bits in advice.items():
+            if not isinstance(bits, Bits):
+                raise AdviceError(
+                    f"advice for {v!r} must be Bits, got "
+                    f"{type(bits).__name__}"
+                )
+        self._advice = dict(advice)
+
+    def __getitem__(self, v: Vertex) -> Bits:
+        return self._advice[v]
+
+    def get(self, v: Vertex, default: Optional[Bits] = None):
+        return self._advice.get(v, default)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._advice
+
+    def __len__(self) -> int:
+        return len(self._advice)
+
+    def items(self):
+        return self._advice.items()
+
+    # -- the Table 1 "Advice" column ---------------------------------------
+    @property
+    def max_bits(self) -> int:
+        """Maximum advice length over all nodes (the paper's default
+        meaning of the Advice column)."""
+        return max((len(b) for b in self._advice.values()), default=0)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(len(b) for b in self._advice.values())
+
+    @property
+    def average_bits(self) -> float:
+        if not self._advice:
+            return 0.0
+        return self.total_bits / len(self._advice)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "advice_max_bits": float(self.max_bits),
+            "advice_avg_bits": float(self.average_bits),
+            "advice_total_bits": float(self.total_bits),
+        }
+
+
+Oracle = Callable[[NetworkSetup], AdviceMap]
+
+
+def empty_advice(setup: NetworkSetup) -> AdviceMap:
+    """The trivial oracle: zero bits for every node."""
+    return AdviceMap({v: Bits() for v in setup.graph.vertices()})

@@ -1,0 +1,52 @@
+"""Analysis toolkit: scaling fits, statistics, information estimators,
+and bench-table rendering."""
+
+from repro.analysis.fitting import (
+    PowerLawFit,
+    best_exponent_model,
+    doubling_ratio,
+    fit_power_law,
+    fit_power_law_deloged,
+    relative_residuals,
+)
+from repro.analysis.information import (
+    conditional_entropy,
+    entropy,
+    joint_entropy,
+    mutual_information,
+    support_size,
+    uniform_entropy,
+)
+from repro.analysis.report import format_value, print_table, render_table
+from repro.analysis.validate import validate_result
+from repro.analysis.stats import (
+    Summary,
+    bootstrap_ci,
+    geometric_mean,
+    median,
+    summarize,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "best_exponent_model",
+    "doubling_ratio",
+    "fit_power_law",
+    "fit_power_law_deloged",
+    "relative_residuals",
+    "conditional_entropy",
+    "entropy",
+    "joint_entropy",
+    "mutual_information",
+    "support_size",
+    "uniform_entropy",
+    "format_value",
+    "validate_result",
+    "print_table",
+    "render_table",
+    "Summary",
+    "bootstrap_ci",
+    "geometric_mean",
+    "median",
+    "summarize",
+]

@@ -1,0 +1,72 @@
+"""Information-theoretic estimators (Appendix A of the paper, made
+empirical).
+
+Theorem 1's proof is an entropy-counting argument: the advice 𝐘 must
+carry Omega(beta) bits of information about each hidden pendant port
+X_i.  These estimators let the Theorem-1 bench *measure* that
+information on sampled executions: plug-in (maximum-likelihood)
+estimates of entropy, conditional entropy, and mutual information over
+discrete samples.
+
+Plug-in estimates are biased for small samples; the benches use sample
+sizes well above the support sizes involved, and the tests check the
+estimators against closed forms on synthetic distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+
+def entropy(samples: Sequence[Hashable], base: float = 2.0) -> float:
+    """Plug-in entropy H[X] from samples, in bits by default."""
+    if not samples:
+        raise ValueError("entropy of an empty sample is undefined")
+    counts = Counter(samples)
+    n = len(samples)
+    h = 0.0
+    for c in counts.values():
+        p = c / n
+        h -= p * math.log(p, base)
+    return h
+
+
+def joint_entropy(
+    pairs: Sequence[Tuple[Hashable, Hashable]], base: float = 2.0
+) -> float:
+    """H[X, Y] from paired samples."""
+    return entropy([tuple(p) for p in pairs], base=base)
+
+
+def conditional_entropy(
+    pairs: Sequence[Tuple[Hashable, Hashable]], base: float = 2.0
+) -> float:
+    """H[X | Y] = H[X, Y] - H[Y] from (x, y) samples."""
+    ys = [y for _x, y in pairs]
+    return joint_entropy(pairs, base=base) - entropy(ys, base=base)
+
+
+def mutual_information(
+    pairs: Sequence[Tuple[Hashable, Hashable]], base: float = 2.0
+) -> float:
+    """I[X : Y] = H[X] - H[X | Y] from (x, y) samples.
+
+    Clamped at 0 (plug-in estimates can dip negative by rounding)."""
+    xs = [x for x, _y in pairs]
+    mi = entropy(xs, base=base) - conditional_entropy(pairs, base=base)
+    return max(0.0, mi)
+
+
+def support_size(samples: Sequence[Hashable]) -> int:
+    """|supp(X)| observed in the sample (the 𝗌𝗎𝗉𝗉 of Lemma 3)."""
+    return len(set(samples))
+
+
+def uniform_entropy(support: int, base: float = 2.0) -> float:
+    """H of the uniform distribution on ``support`` outcomes — the
+    maximum possible (Lemma 16(f) in the paper's appendix)."""
+    if support < 1:
+        raise ValueError("support must be positive")
+    return math.log(support, base)

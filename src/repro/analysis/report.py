@@ -1,0 +1,58 @@
+"""Plain-text table rendering for bench output.
+
+Every bench prints a paper-style table (one row per configuration) so
+``pytest benchmarks/ --benchmark-only`` output doubles as the
+EXPERIMENTS.md raw data.  No external dependencies; monospace-aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_value(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 10_000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([format_value(row.get(c, "")) for c in columns])
+    widths = [
+        max(len(r[i]) for r in table) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(
+        cell.ljust(w) for cell, w in zip(table[0], widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in table[1:]:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    print()
+    print(render_table(rows, columns=columns, title=title))

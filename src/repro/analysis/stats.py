@@ -1,0 +1,80 @@
+"""Small statistics helpers for repeated-trial measurements."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class Summary:
+    """Mean, standard deviation, and extremes of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return Summary(
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(vals),
+        maximum=max(vals),
+        count=n,
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    n = len(vals)
+    means: List[float] = []
+    for _ in range(resamples):
+        s = sum(vals[rng.randrange(n)] for _ in range(n))
+        means.append(s / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = means[int(alpha * resamples)]
+    hi = means[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return lo, hi
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot average an empty sample")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def median(values: Sequence[float]) -> float:
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        raise ValueError("cannot take median of an empty sample")
+    n = len(vals)
+    mid = n // 2
+    if n % 2 == 1:
+        return vals[mid]
+    return (vals[mid - 1] + vals[mid]) / 2.0

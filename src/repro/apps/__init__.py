@@ -1,0 +1,7 @@
+"""Downstream applications built on the wake-up layer: what an adopter
+of the library would write (Sec 1.3's leader-election/MST motivation)."""
+
+from repro.apps.broadcast import FloodingBroadcast, TreeBroadcast
+from repro.apps.leader_election import LeaderElection
+
+__all__ = ["FloodingBroadcast", "TreeBroadcast", "LeaderElection"]

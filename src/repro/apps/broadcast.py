@@ -1,0 +1,172 @@
+"""Payload broadcast piggybacked on wake-up.
+
+The Wake-on-LAN story usually wants more than "everyone is awake": the
+controller has a payload (a boot configuration, a firmware version, a
+job id) that every machine should hold once it is up.  This module
+piggybacks an arbitrary payload on top of the library's wake-up
+algorithms:
+
+* :class:`FloodingBroadcast` — the payload rides the flooding wave:
+  rho_awk time, Theta(m) messages, works in KT0 CONGEST for payloads
+  within the bandwidth cap;
+* :class:`TreeBroadcast` — the payload rides the child-encoding scheme
+  (Theorem 5B): O(n) messages and O(log n)-bit advice, O(D log n)
+  time.  Every CEN protocol message is extended with the rumor once
+  the sender knows it; because CEN traffic spans the whole BFS tree
+  from any start, every node ends up holding the payload.
+
+Payload holders are recorded per node so tests can verify dissemination
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from repro.core.base import BOTH, WakeUpAlgorithm
+from repro.core.child_encoding import (
+    NEXT,
+    PROBE,
+    UP,
+    ChildEncodingAdvice,
+    _CenNode,
+)
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+Vertex = Hashable
+
+RUMOR_WAKE = "bc-wake"
+
+
+class _FloodNode(NodeAlgorithm):
+    def __init__(self, vertex, holder: Dict, payload: Any):
+        self._vertex = vertex
+        self._holder = holder
+        self._payload = payload
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        if ctx.wake_cause == "adversary":
+            # Adversary-woken nodes are the sources: they hold the
+            # payload (e.g. the controller's configuration) a priori.
+            self._holder[self._vertex] = self._payload
+            ctx.broadcast((RUMOR_WAKE, self._payload))
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        if self._vertex in self._holder:
+            return
+        self._holder[self._vertex] = payload[1]
+        ctx.broadcast((RUMOR_WAKE, payload[1]))
+
+
+class FloodingBroadcast(WakeUpAlgorithm):
+    """Wake everyone and hand them ``payload``, by flooding.
+
+    The source is the vertex the adversary wakes (only source-woken
+    dissemination makes sense; other adversary-woken nodes would have
+    nothing to say — give them the payload too if you wake several).
+    """
+
+    name = "flooding-broadcast"
+    synchrony = BOTH
+    requires_kt1 = False
+    uses_advice = False
+    congest_safe = True
+
+    def __init__(self, payload: Any):
+        self.payload = payload
+        self.holder: Dict[Vertex, Any] = {}
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return _FloodNode(vertex, self.holder, self.payload)
+
+    def everyone_holds_payload(self, setup) -> bool:
+        """Whether every vertex ended the run holding the payload."""
+        return all(
+            self.holder.get(v) == self.payload
+            for v in setup.graph.vertices()
+        )
+
+
+class _CenBroadcastNode(_CenNode):
+    """CEN node whose protocol messages carry the rumor once known."""
+
+    def __init__(self, vertex, holder: Dict, payload: Optional[Any]):
+        super().__init__()
+        self._vertex = vertex
+        self._holder = holder
+        if payload is not None:
+            self._holder[self._vertex] = payload
+
+    # -- rumor plumbing ------------------------------------------------
+    def _rumor(self) -> Any:
+        return self._holder.get(self._vertex)
+
+    def _learn(self, rumor: Any) -> None:
+        if rumor is not None and self._vertex not in self._holder:
+            self._holder[self._vertex] = rumor
+
+    def _start(self, ctx: NodeContext, notify_parent: bool) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._decode(ctx)
+        rumor = self._rumor()
+        if notify_parent and self._parent_port is not None:
+            ctx.send(self._parent_port, (UP, rumor))
+        if self._fc_port is not None:
+            ctx.send(self._fc_port, (PROBE, rumor))
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        tag = payload[0]
+        if tag == UP:
+            self._learn(payload[1])
+            self._start(ctx, notify_parent=True)
+        elif tag == PROBE:
+            self._learn(payload[1])
+            self._decode(ctx)
+            n1, n2 = self._next
+            ctx.send(port, (NEXT, n1 or 0, n2 or 0, self._rumor()))
+            self._start(ctx, notify_parent=False)
+        elif tag == NEXT:
+            _, n1, n2, rumor = payload
+            self._learn(rumor)
+            my_rumor = self._rumor()
+            if n1:
+                ctx.send(n1, (PROBE, my_rumor))
+            if n2:
+                ctx.send(n2, (PROBE, my_rumor))
+
+
+class TreeBroadcast(ChildEncodingAdvice):
+    """Theorem-5B wake-up carrying a payload: O(n) messages, O(log n)
+    advice, O(D log n) time — broadcast at wake-up prices.
+
+    The rumor propagates in both directions (up-chain and probes), so
+    any single source disseminates to the whole tree.  Nodes that are
+    woken before the rumor reaches them (possible when several nodes
+    are adversary-woken and only one is the source) still receive it on
+    the next protocol message from an informed neighbor; with a single
+    adversary-woken source every node holds the payload at quiescence.
+    """
+
+    name = "tree-broadcast"
+
+    def __init__(self, payload: Any):
+        super().__init__()
+        self.payload = payload
+        self.holder: Dict[Vertex, Any] = {}
+        self._source_assigned = False
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return _CenBroadcastNode(vertex, self.holder, None)
+
+    def mark_source(self, vertex) -> None:
+        """Mark ``vertex`` as the payload source (call before running)."""
+        self.holder[vertex] = self.payload
+
+    def everyone_holds_payload(self, setup) -> bool:
+        """Whether every vertex ended the run holding the payload."""
+        return all(
+            self.holder.get(v) == self.payload
+            for v in setup.graph.vertices()
+        )

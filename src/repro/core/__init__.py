@@ -1,0 +1,50 @@
+"""The paper's algorithms: one module per Table-1 row."""
+
+from repro.core.base import ASYNC, BOTH, SYNC, WakeUpAlgorithm
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.fast_wakeup import FastWakeUp
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.flooding import EchoFlooding, Flooding
+from repro.core.gossip import PushGossipWakeUp, PushPullBroadcast
+from repro.core.prefix_advice import PrefixAdvice
+from repro.core.registry import (
+    TABLE1_ROWS,
+    algorithm_names,
+    get_algorithm,
+    register,
+)
+from repro.core.spanner_advice import (
+    LogSpannerAdvice,
+    SpannerAdvice,
+    TreeSpannerAdvice,
+)
+from repro.core.sqrt_advice import SqrtThresholdAdvice
+from repro.core.star_broadcast import StarBroadcast
+from repro.core.tree_util import OracleTree
+
+__all__ = [
+    "ASYNC",
+    "BOTH",
+    "SYNC",
+    "WakeUpAlgorithm",
+    "ChildEncodingAdvice",
+    "DfsWakeUp",
+    "FastWakeUp",
+    "Fip06TreeAdvice",
+    "EchoFlooding",
+    "Flooding",
+    "PushGossipWakeUp",
+    "PushPullBroadcast",
+    "PrefixAdvice",
+    "TABLE1_ROWS",
+    "algorithm_names",
+    "get_algorithm",
+    "register",
+    "LogSpannerAdvice",
+    "SpannerAdvice",
+    "TreeSpannerAdvice",
+    "SqrtThresholdAdvice",
+    "StarBroadcast",
+    "OracleTree",
+]

@@ -1,0 +1,134 @@
+"""Theorem 3 — asynchronous KT1 LOCAL wake-up via ranked DFS tokens.
+
+Every node woken *by the adversary* draws a random rank from [n^c] and
+launches a depth-first-search token carrying (rank, origin ID, list of
+visited IDs).  Nodes remember the lexicographically largest (rank, id)
+pair they have ever seen; a token that arrives carrying a smaller pair
+is discarded, a larger-or-equal one continues its DFS (Sec 3.1):
+
+* the visited-ID list lets the current holder pick an unvisited
+  neighbor (possible because of KT1 — it knows its neighbors' IDs);
+* if all neighbors are visited, the token backtracks to its DFS parent;
+* a token returning to its origin with nothing left to explore halts.
+
+Nodes woken by a *message* never create ranks or tokens.
+
+Guarantees (proved in the paper, verified empirically by the benches):
+
+* correctness with probability 1 — the token of the maximum
+  (rank, id) pair is never discarded and visits everyone (Las Vegas);
+* each token's path is a DFS traversal of a tree, so a single token is
+  forwarded O(n) times (Claim 1);
+* every node forwards O(log n) distinct tokens w.h.p. (Claim 4), giving
+  O(n log n) messages and O(n log n) time w.h.p.
+
+LOCAL-only: the token carries up to n IDs, far beyond any CONGEST cap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.base import ASYNC, BOTH, WakeUpAlgorithm
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+TOKEN = "dfs-token"
+
+# Rank key: (rank, origin_id), compared lexicographically as in Sec 3.1.
+RankKey = Tuple[int, int]
+
+
+class DfsWakeUpNode(NodeAlgorithm):
+    """Per-node state machine of the ranked-DFS algorithm."""
+
+    def __init__(self, rank_exponent: int = 4):
+        # Largest (rank, origin id) seen so far; (-1, -1) = nothing yet.
+        self.best: RankKey = (-1, -1)
+        # DFS parent port per token key (set on first adoption; the
+        # origin has no entry).
+        self.parent_port: Dict[RankKey, Optional[int]] = {}
+        # Exploration ports per token key: where we forwarded the token
+        # to a then-unvisited neighbor.  For the winning token these
+        # are exactly this node's tree-child edges, which the
+        # applications layer (leader election, spanning tree) reuses.
+        self.child_ports: Dict[RankKey, List[int]] = {}
+        self.tokens_forwarded: Set[RankKey] = set()
+        self._rank_exponent = rank_exponent
+        self.my_rank: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def on_wake(self, ctx: NodeContext) -> None:
+        if ctx.wake_cause != "adversary":
+            # Message-woken nodes neither create ranks nor start DFS
+            # traversals (Sec 3.1).
+            return
+        # Rank from [n^c]: nodes know a constant-factor bound on log n,
+        # so they can sample c * log2(n) random bits.
+        rank_space = 1 << (self._rank_exponent * ctx.log2_n_bound)
+        self.my_rank = ctx.rng.randrange(rank_space)
+        key = (self.my_rank, ctx.node_id)
+        self.best = key
+        self.parent_port[key] = None  # origin: backtracking past me = halt
+        self.tokens_forwarded.add(key)
+        self._advance(ctx, key, visited=(ctx.node_id,))
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        tag = payload[0]
+        if tag != TOKEN:
+            return
+        _, rank, origin, visited = payload
+        key = (rank, origin)
+        if key < self.best:
+            # Case (b): a stale token — discard.
+            return
+        first_visit = ctx.node_id not in visited
+        if first_visit:
+            # Case (a): adopt and extend the traversal.
+            self.best = key
+            self.parent_port[key] = port
+            visited = visited + (ctx.node_id,)
+        else:
+            # The token is backtracking through us; keep exploring.
+            self.best = max(self.best, key)
+        self.tokens_forwarded.add(key)
+        self._advance(ctx, key, visited)
+
+    # ------------------------------------------------------------------
+    def _advance(self, ctx: NodeContext, key: RankKey, visited: Tuple[int, ...]) -> None:
+        """Forward the token to an unvisited neighbor, or backtrack."""
+        visited_set = set(visited)
+        for p in ctx.ports:
+            if ctx.neighbor_id(p) not in visited_set:
+                self.child_ports.setdefault(key, []).append(p)
+                ctx.send(p, (TOKEN, key[0], key[1], visited))
+                return
+        parent = self.parent_port.get(key)
+        if parent is not None:
+            ctx.send(parent, (TOKEN, key[0], key[1], visited))
+            return
+        # parent is None: we are the origin and the DFS is complete.
+        self.on_token_complete(ctx, key, visited)
+
+    def on_token_complete(
+        self, ctx: NodeContext, key: RankKey, visited: Tuple[int, ...]
+    ) -> None:
+        """Hook: our own token finished its traversal (it visited every
+        ID in ``visited`` and backtracked home).  The base algorithm
+        needs no follow-up; applications (leader election, spanning
+        tree) override this to start their announcement phase."""
+
+
+class DfsWakeUp(WakeUpAlgorithm):
+    """Theorem 3: O(n log n) time and messages w.h.p., async KT1 LOCAL."""
+
+    name = "dfs-rank"
+    synchrony = BOTH  # designed for async; runs under lock-step too
+    requires_kt1 = True
+    uses_advice = False
+    congest_safe = False
+
+    def __init__(self, rank_exponent: int = 4):
+        self._rank_exponent = rank_exponent
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return DfsWakeUpNode(rank_exponent=self._rank_exponent)

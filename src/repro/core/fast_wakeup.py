@@ -1,0 +1,392 @@
+"""Theorem 4 — FastWakeUp: synchronous KT1 LOCAL wake-up in 10·rho_awk
+rounds with O(n^{3/2} sqrt(log n)) messages (Sec 3.2).
+
+Program of an *active* node (exactly 10 local rounds):
+
+1. **Sampling** (local round 0): become a *root* with probability
+   sqrt(log n / n).
+2. **BFS tree construction** (9 rounds): each root builds a depth-3 BFS
+   tree with the message-efficient technique of [DPRS24] — level-1
+   nodes report their neighbor-ID lists up to the root, which computes
+   the BFS edge sets S2 and S3 centrally and pushes them back down, so
+   construction messages travel only over tree edges:
+
+   =====  ======================================================
+   round  action (relative to the root's wake round, 1-based)
+   =====  ======================================================
+   1      root sends ``bfs1``
+   2      neighbors join level 1; reply ``nbrs1`` (their ID lists)
+   3      root computes S2; sends per-child lists ``s2``
+   4      level-1 nodes send ``bfs2`` over S2 edges
+   5      level-2 nodes join; reply ``nbrs2`` to their parent
+   6      parents forward ``nbrs2up`` to the root
+   7      root computes S3; sends ``s3`` down
+   8      level-1 nodes forward ``s3down``
+   9      level-2 nodes send ``bfs3`` over S3 edges
+   10     level-3 nodes join (construction complete)
+   =====  ======================================================
+
+3. **Broadcast** (local round 9): a node still active (never
+   deactivated) broadcasts ``activate!`` and then stops.
+
+Status rules (Sec 3.2):
+
+* adversary-woken nodes become **active**;
+* a sleeping node receiving ``activate!`` or joining a tree as a
+  *level-3* node becomes active (the wave continues);
+* a node joining as a *level-1 or level-2* node becomes **deactivated**
+  in the round the tree's third level completes — in particular an
+  active node so captured never executes its broadcast (the
+  message-saving mechanism of Lemma 13);
+* roots deactivate when their construction finishes.
+
+Deactivated nodes still perform tree-construction forwarding duties
+(required for other roots' in-progress constructions) but never
+broadcast or sample.  KT1 and LOCAL are both essential: neighbor-ID
+lists are exchanged wholesale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.base import SYNC, WakeUpAlgorithm
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+BFS1 = "bfs1"
+NBRS1 = "nbrs1"
+S2 = "s2"
+BFS2 = "bfs2"
+NBRS2 = "nbrs2"
+NBRS2UP = "nbrs2up"
+S3 = "s3"
+S3DOWN = "s3down"
+BFS3 = "bfs3"
+ACTIVATE = "activate!"
+
+# Rounds from a node's join until the tree's level 3 completes
+# (completion is root-round 10; level-1 joins at root-round 2, level-2
+# at root-round 5, the root itself starts at root-round 1).
+_L1_COMPLETION_DELTA = 8
+_L2_COMPLETION_DELTA = 5
+_ROOT_COMPLETION_DELTA = 9
+
+
+class _RootState:
+    """Root-side bookkeeping for one BFS-tree construction."""
+
+    __slots__ = (
+        "level1",
+        "nbr_lists",
+        "expect_nbrs1",
+        "level2_assignment",
+        "expect_nbrs2up",
+        "nbrs2_collected",
+    )
+
+    def __init__(self, expect_nbrs1: int):
+        self.level1: List[int] = []
+        self.nbr_lists: Dict[int, Tuple[int, ...]] = {}
+        self.expect_nbrs1 = expect_nbrs1
+        self.level2_assignment: Dict[int, int] = {}  # level2 id -> parent id
+        self.expect_nbrs2up = 0
+        self.nbrs2_collected: Dict[int, Tuple] = {}
+
+
+class _Level1State:
+    __slots__ = ("parent_port", "children", "expect_nbrs2", "collected")
+
+    def __init__(self, parent_port: int):
+        self.parent_port = parent_port
+        self.children: List[int] = []
+        self.expect_nbrs2 = 0
+        self.collected: List[Tuple[int, Tuple[int, ...]]] = []
+
+
+class _Level2State:
+    __slots__ = ("parent_port",)
+
+    def __init__(self, parent_port: int):
+        self.parent_port = parent_port
+
+
+class FastWakeUpNode(NodeAlgorithm):
+    """Per-node state machine of FastWakeUp."""
+
+    def __init__(self, sample_override: Optional[float] = None):
+        self.active = False
+        self.deactivated = False
+        #: Local round at which this node deactivated (None if never);
+        #: recorded so the Lemma 9/11 tests can audit the discipline.
+        self.deactivated_at_local: Optional[int] = None
+        self.broadcast_done = False
+        self.is_root = False
+        self.sampled = False
+        self._deactivate_deadlines: List[int] = []
+        self._root_state: Optional[_RootState] = None
+        self._l1: Dict[int, _Level1State] = {}  # root id -> state
+        self._l2: Dict[int, _Level2State] = {}
+        self._sample_override = sample_override
+        # True only between a message-caused on_wake and the on_message
+        # for that same waking message: identifies "was asleep when this
+        # message arrived", which gates the asleep->active transitions.
+        self._woke_by_message_pending = False
+
+    # ------------------------------------------------------------------
+    # Status transitions
+    # ------------------------------------------------------------------
+    def on_wake(self, ctx: NodeContext) -> None:
+        if ctx.wake_cause == "adversary":
+            self.active = True
+        else:
+            self._woke_by_message_pending = True
+
+    def _activate(self) -> None:
+        if not self.deactivated:
+            self.active = True
+
+    def _schedule_deactivation(self, ctx: NodeContext, delta: int) -> None:
+        self._deactivate_deadlines.append(ctx.local_round + delta)
+
+    def wants_round(self) -> bool:
+        # Rounds are needed to run the sampling/broadcast program (which
+        # ends with self-deactivation in the 11th round, Sec 3.2) and to
+        # fire pending deactivation deadlines.
+        if self.deactivated:
+            return False
+        return self.active or bool(self._deactivate_deadlines)
+
+    # ------------------------------------------------------------------
+    # The 10-round program
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: NodeContext) -> None:
+        # Deactivation deadlines fire before any broadcast decision
+        # (Lemma 13 relies on capture pre-empting the broadcast).
+        if self._deactivate_deadlines and (
+            min(self._deactivate_deadlines) <= ctx.local_round
+        ):
+            self.deactivated = True
+            self.deactivated_at_local = ctx.local_round
+            self._deactivate_deadlines = []
+            return
+        if not self.active or self.deactivated:
+            return
+        if ctx.local_round == 0:
+            self._sampling_step(ctx)
+        elif ctx.local_round == 9 and not self.broadcast_done:
+            # Broadcast step: still active after 9 full rounds.
+            ctx.broadcast((ACTIVATE,))
+            self.broadcast_done = True
+        elif ctx.local_round >= 10:
+            # The 10-round program is over: the node deactivates itself
+            # ("deactivates itself in round 11", Sec 3.2), which also
+            # prevents later trees from re-arming it past Lemma 11's
+            # r + 10 deadline.
+            self.deactivated = True
+            self.deactivated_at_local = ctx.local_round
+            self._deactivate_deadlines = []
+
+    def _sampling_step(self, ctx: NodeContext) -> None:
+        if self.sampled:
+            return
+        self.sampled = True
+        if self._sample_override is not None:
+            p = self._sample_override
+        else:
+            n_hat = 1 << ctx.log2_n_bound
+            p = math.sqrt(math.log(n_hat) / n_hat)
+        if ctx.rng.random() < min(1.0, p):
+            self.is_root = True
+            self._root_state = _RootState(expect_nbrs1=ctx.degree)
+            self._schedule_deactivation(ctx, _ROOT_COMPLETION_DELTA)
+            for port in ctx.ports:
+                ctx.send(port, (BFS1, ctx.node_id))
+            if ctx.degree == 0:
+                self.deactivated = True
+                self.deactivated_at_local = ctx.local_round
+
+    # ------------------------------------------------------------------
+    # Tree-construction message handling
+    # ------------------------------------------------------------------
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        was_asleep = self._woke_by_message_pending
+        self._woke_by_message_pending = False
+        tag = payload[0]
+        if tag == ACTIVATE:
+            if was_asleep:
+                # Only nodes that were asleep become active; an awake
+                # servant stays in its current status (Sec 3.2).
+                self._maybe_activate_from_sleep(ctx)
+            return
+        if tag == BFS1:
+            self._join_level1(ctx, port, payload[1])
+        elif tag == NBRS1:
+            self._root_collect_nbrs1(ctx, payload)
+        elif tag == S2:
+            self._level1_receive_s2(ctx, payload)
+        elif tag == BFS2:
+            self._join_level2(ctx, port, payload[1])
+        elif tag == NBRS2:
+            self._level1_collect_nbrs2(ctx, payload)
+        elif tag == NBRS2UP:
+            self._root_collect_nbrs2up(ctx, payload)
+        elif tag == S3:
+            self._level1_forward_s3(ctx, payload)
+        elif tag == S3DOWN:
+            self._level2_send_bfs3(ctx, payload)
+        elif tag == BFS3:
+            self._join_level3(ctx, was_asleep)
+
+    # -- helpers -----------------------------------------------------------
+    def _maybe_activate_from_sleep(self, ctx: NodeContext) -> None:
+        """A sleeping node that received activate!/bfs3 becomes active.
+
+        ``wake_cause == "message"`` plus "this is the first message we
+        ever processed" identifies the was-asleep case; we approximate
+        "was asleep when this message arrived" by "not yet active and
+        not yet deactivated", matching the paper's status table.
+        """
+        if not self.deactivated and not self.active:
+            self.active = True
+
+    def _join_level1(self, ctx: NodeContext, port: int, root_id: int) -> None:
+        if root_id in self._l1:
+            return
+        self._l1[root_id] = _Level1State(parent_port=port)
+        # Status: joining as level 1 => deactivate at completion.
+        if not self.deactivated:
+            self._schedule_deactivation(ctx, _L1_COMPLETION_DELTA)
+        ctx.send(port, (NBRS1, root_id, ctx.node_id, tuple(ctx.neighbor_ids())))
+
+    def _root_collect_nbrs1(self, ctx: NodeContext, payload) -> None:
+        if self._root_state is None:
+            return
+        _, root_id, sender_id, nbr_ids = payload
+        if root_id != ctx.node_id:
+            return
+        st = self._root_state
+        st.level1.append(sender_id)
+        st.nbr_lists[sender_id] = nbr_ids
+        if len(st.level1) < st.expect_nbrs1:
+            return
+        # All level-1 reports in: compute S2 (level-2 assignment).
+        level1_set = set(st.level1)
+        assigned: Dict[int, int] = {}
+        for v_id in sorted(st.level1):
+            for w_id in st.nbr_lists[v_id]:
+                if w_id == ctx.node_id or w_id in level1_set:
+                    continue
+                if w_id not in assigned:
+                    assigned[w_id] = v_id
+        st.level2_assignment = assigned
+        children_of: Dict[int, List[int]] = {}
+        for w_id, v_id in assigned.items():
+            children_of.setdefault(v_id, []).append(w_id)
+        st.expect_nbrs2up = len(children_of)
+        for v_id in st.level1:
+            kids = tuple(sorted(children_of.get(v_id, ())))
+            if kids:
+                # Childless level-1 nodes have no further construction
+                # duty; skipping the empty list saves Theta(degree)
+                # messages per root on dense graphs.
+                ctx.send(ctx.port_of(v_id), (S2, root_id, kids))
+
+    def _level1_receive_s2(self, ctx: NodeContext, payload) -> None:
+        _, root_id, kids = payload
+        st = self._l1.get(root_id)
+        if st is None:
+            return
+        st.children = list(kids)
+        st.expect_nbrs2 = len(kids)
+        for w_id in kids:
+            ctx.send(ctx.port_of(w_id), (BFS2, root_id, ctx.node_id))
+
+    def _join_level2(self, ctx: NodeContext, port: int, root_id: int) -> None:
+        if root_id in self._l2:
+            return
+        self._l2[root_id] = _Level2State(parent_port=port)
+        if not self.deactivated:
+            self._schedule_deactivation(ctx, _L2_COMPLETION_DELTA)
+        ctx.send(port, (NBRS2, root_id, ctx.node_id, tuple(ctx.neighbor_ids())))
+
+    def _level1_collect_nbrs2(self, ctx: NodeContext, payload) -> None:
+        _, root_id, w_id, nbrs = payload
+        st = self._l1.get(root_id)
+        if st is None:
+            return
+        st.collected.append((w_id, nbrs))
+        if len(st.collected) >= st.expect_nbrs2 and st.expect_nbrs2 > 0:
+            ctx.send(
+                st.parent_port,
+                (NBRS2UP, root_id, ctx.node_id, tuple(st.collected)),
+            )
+
+    def _root_collect_nbrs2up(self, ctx: NodeContext, payload) -> None:
+        if self._root_state is None:
+            return
+        _, root_id, v_id, pairs = payload
+        if root_id != ctx.node_id:
+            return
+        st = self._root_state
+        st.nbrs2_collected[v_id] = pairs
+        if len(st.nbrs2_collected) < st.expect_nbrs2up:
+            return
+        # Compute S3: assign each level-3 node one level-2 parent.
+        known = set(st.level1) | set(st.level2_assignment) | {ctx.node_id}
+        assigned3: Dict[int, int] = {}
+        for v_id2 in sorted(st.nbrs2_collected):
+            for w_id, nbrs in st.nbrs2_collected[v_id2]:
+                for x_id in nbrs:
+                    if x_id in known or x_id in assigned3:
+                        continue
+                    assigned3[x_id] = w_id
+        kids3_of_w: Dict[int, List[int]] = {}
+        for x_id, w_id in assigned3.items():
+            kids3_of_w.setdefault(w_id, []).append(x_id)
+        # Push S3 down via the level-1 parents.
+        for v_id2, pairs2 in st.nbrs2_collected.items():
+            entries = tuple(
+                (w_id, tuple(sorted(kids3_of_w.get(w_id, ()))))
+                for w_id, _nbrs in pairs2
+                if kids3_of_w.get(w_id)
+            )
+            if entries:
+                ctx.send(ctx.port_of(v_id2), (S3, root_id, entries))
+
+    def _level1_forward_s3(self, ctx: NodeContext, payload) -> None:
+        _, root_id, entries = payload
+        if root_id not in self._l1:
+            return
+        for w_id, kids in entries:
+            ctx.send(ctx.port_of(w_id), (S3DOWN, root_id, kids))
+
+    def _level2_send_bfs3(self, ctx: NodeContext, payload) -> None:
+        _, root_id, kids = payload
+        if root_id not in self._l2:
+            return
+        for x_id in kids:
+            ctx.send(ctx.port_of(x_id), (BFS3, root_id))
+
+    def _join_level3(self, ctx: NodeContext, was_asleep: bool) -> None:
+        # A sleeping node joining as level 3 becomes active.
+        if was_asleep:
+            self._maybe_activate_from_sleep(ctx)
+
+
+class FastWakeUp(WakeUpAlgorithm):
+    """Theorem 4: 10 * rho_awk rounds, O(n^{3/2} sqrt(log n)) messages."""
+
+    name = "fast-wakeup"
+    synchrony = SYNC
+    requires_kt1 = True
+    uses_advice = False
+    congest_safe = False
+
+    def __init__(self, sample_override: Optional[float] = None):
+        """``sample_override`` pins the root-sampling probability (used
+        by tests to force deterministic scenarios)."""
+        self._sample_override = sample_override
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return FastWakeUpNode(sample_override=self._sample_override)

@@ -1,0 +1,74 @@
+"""Flooding — the baseline wake-up algorithm (Sec 1.2).
+
+Every node, upon waking, broadcasts a wake-up message over all its
+ports, once.  Flooding is time-optimal — it wakes every node within
+exactly rho_awk time units (the awake distance, Eq. 1) — but
+message-inefficient: it sends Theta(m) messages, which is the
+unavoidable KT0 cost without advice [KPP+15] and the benchmark that the
+paper's message-efficient algorithms beat.
+
+Works in every model combination: KT0, CONGEST (the payload is a
+constant-size tag), synchronous and asynchronous.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BOTH, WakeUpAlgorithm
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+WAKE_TAG = "wake"
+
+
+class _FloodingNode(NodeAlgorithm):
+    """Broadcast once upon waking; ignore all subsequent messages."""
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        ctx.broadcast((WAKE_TAG,))
+
+    def on_message(self, ctx: NodeContext, port: int, payload) -> None:
+        # Waking already triggered the broadcast; nothing further to do.
+        pass
+
+
+class Flooding(WakeUpAlgorithm):
+    """Theta(m)-message, rho_awk-time baseline."""
+
+    name = "flooding"
+    synchrony = BOTH
+    requires_kt1 = False
+    uses_advice = False
+    congest_safe = True
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return _FloodingNode()
+
+
+class EchoFlooding(WakeUpAlgorithm):
+    """Flooding variant where nodes acknowledge their waker.
+
+    Sends exactly one extra message per awakened node (the "response"
+    message of Lemma 1's wake-up -> NIH reduction uses the same trick).
+    Used by tests that need explicit confirmation traffic.
+    """
+
+    name = "echo-flooding"
+    synchrony = BOTH
+    requires_kt1 = False
+    uses_advice = False
+    congest_safe = True
+
+    class _Node(NodeAlgorithm):
+        def __init__(self) -> None:
+            self._woken_by_port = None
+            self._acked = False
+
+        def on_wake(self, ctx: NodeContext) -> None:
+            ctx.broadcast((WAKE_TAG,))
+
+        def on_message(self, ctx: NodeContext, port: int, payload) -> None:
+            if payload == (WAKE_TAG,) and not self._acked:
+                self._acked = True
+                ctx.send(port, ("ack",))
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return self._Node()

@@ -1,0 +1,177 @@
+"""Gossip protocols — the Sec-1.3 related-work boundary, executable.
+
+The paper explains why gossip does not straightforwardly solve wake-up:
+classic rumor spreading [KSSV00, CHKM12, Hae15] relies on *both* push
+(informed nodes send) and pull (uninformed nodes ask), but a sleeping
+node cannot pull.  Push-only gossip does solve broadcast on regular
+expanders [SS11], yet footnote 3 gives the counterexample: a complete
+graph with one pendant vertex has constant vertex expansion, but the
+pendant is reached only when its unique clique neighbor happens to push
+to it — an Omega(n) expected wait.
+
+This module implements both protocols so the boundary can be measured:
+
+* :class:`PushGossipWakeUp` — a legitimate (if slow) wake-up algorithm:
+  every awake node pushes a wake rumor to one uniformly random neighbor
+  per round, for a bounded number of rounds.
+* :class:`PushPullBroadcast` — the classic rumor-spreading protocol for
+  the *broadcast* problem under the all-awake assumption: informed
+  nodes push, uninformed nodes pull.  It is not a wake-up algorithm
+  (pulling requires being awake); it exists to demonstrate the contrast
+  the paper draws.
+
+Both are synchronous KT1 protocols (the random-neighbor choice only
+needs ports, but we keep the related-work setting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from repro.core.base import SYNC, WakeUpAlgorithm
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+RUMOR = "rumor"
+PULL = "pull"
+
+Vertex = Hashable
+
+
+class _PushNode(NodeAlgorithm):
+    def __init__(self, active_rounds: int):
+        self._active_rounds = active_rounds
+        self._done = False
+
+    def wants_round(self) -> bool:
+        return not self._done
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if ctx.local_round >= self._active_rounds:
+            self._done = True
+            return
+        if ctx.degree:
+            port = ctx.rng.randrange(1, ctx.degree + 1)
+            ctx.send(port, (RUMOR,))
+
+
+class PushGossipWakeUp(WakeUpAlgorithm):
+    """Push-only gossip as a wake-up algorithm.
+
+    Every awake node pushes to one random neighbor per round for
+    ``active_rounds`` rounds.  On well-connected regular graphs this
+    wakes everyone in O(log n) rounds [SS11]; on the footnote-3
+    lollipop it needs Theta(n) rounds for the pendant, which the bench
+    measures.  With the default generous budget the algorithm is
+    correct w.h.p. on the workloads we run it on; the runner reports
+    failures (Monte Carlo, unlike the paper's Las Vegas algorithms).
+    """
+
+    name = "push-gossip"
+    synchrony = SYNC
+    requires_kt1 = True
+    uses_advice = False
+    congest_safe = True
+
+    def __init__(self, active_rounds: int = 0):
+        """``active_rounds = 0`` derives a budget of 8 * n_hat rounds
+        from the known log-n bound at node construction time."""
+        self._active_rounds = active_rounds
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        budget = self._active_rounds
+        if budget <= 0:
+            budget = 8 * (1 << setup.log2_n_bound)
+        return _PushNode(budget)
+
+
+class _PushPullNode(NodeAlgorithm):
+    def __init__(
+        self,
+        source_id: int,
+        active_rounds: int,
+        informed_at: Dict[Vertex, int],
+        vertex: Vertex,
+    ):
+        self._source_id = source_id
+        self._active_rounds = active_rounds
+        self._informed_at = informed_at
+        self._vertex = vertex
+        self.informed = False
+        self._done = False
+
+    # -- helpers -----------------------------------------------------------
+    def _mark_informed(self, ctx: NodeContext) -> None:
+        if not self.informed:
+            self.informed = True
+            self._informed_at[self._vertex] = ctx.local_round
+
+    def wants_round(self) -> bool:
+        return not self._done
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        if ctx.node_id == self._source_id:
+            self._mark_informed(ctx)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if ctx.local_round >= self._active_rounds:
+            self._done = True
+            return
+        if ctx.degree == 0:
+            return
+        port = ctx.rng.randrange(1, ctx.degree + 1)
+        if self.informed:
+            ctx.send(port, (RUMOR,))  # push
+        else:
+            ctx.send(port, (PULL,))  # pull request
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        tag = payload[0]
+        if tag == RUMOR:
+            self._mark_informed(ctx)
+        elif tag == PULL and self.informed:
+            ctx.send(port, (RUMOR,))
+
+
+class PushPullBroadcast(WakeUpAlgorithm):
+    """Classic push-pull rumor spreading (broadcast, all nodes awake).
+
+    Run it with ``WakeSchedule.all_at_once(all_vertices)``; the node
+    whose ID is ``source_id`` starts informed.  After the run,
+    :attr:`informed_at` maps each vertex to the (local) round it
+    learned the rumor, and :meth:`all_informed` tells whether broadcast
+    completed within the round budget.
+
+    Not a wake-up algorithm: a sleeping node cannot send pull requests,
+    which is precisely the paper's Sec-1.3 point.
+    """
+
+    name = "push-pull-broadcast"
+    synchrony = SYNC
+    requires_kt1 = True
+    uses_advice = False
+    congest_safe = True
+
+    def __init__(self, source_id: int, active_rounds: int = 0):
+        self.source_id = source_id
+        self._active_rounds = active_rounds
+        self.informed_at: Dict[Vertex, int] = {}
+        self._n: Optional[int] = None
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        self._n = setup.n
+        budget = self._active_rounds
+        if budget <= 0:
+            budget = 16 * setup.log2_n_bound
+        return _PushPullNode(
+            self.source_id, budget, self.informed_at, vertex
+        )
+
+    def all_informed(self) -> bool:
+        return self._n is not None and len(self.informed_at) == self._n
+
+    def completion_round(self) -> Optional[int]:
+        """Round by which the last node was informed, or None if
+        broadcast did not complete."""
+        if not self.all_informed():
+            return None
+        return max(self.informed_at.values())

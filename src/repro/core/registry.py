@@ -1,0 +1,77 @@
+"""Algorithm registry: name -> factory, for benches and the CLI-style
+examples.
+
+The registry maps every Table-1 row to its implementation so sweep code
+can iterate "all algorithms applicable to model X" without hard-coding
+imports everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.base import WakeUpAlgorithm
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.fast_wakeup import FastWakeUp
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.flooding import EchoFlooding, Flooding
+from repro.core.gossip import PushGossipWakeUp
+from repro.core.prefix_advice import PrefixAdvice
+from repro.core.spanner_advice import (
+    LogSpannerAdvice,
+    SpannerAdvice,
+    TreeSpannerAdvice,
+)
+from repro.core.sqrt_advice import SqrtThresholdAdvice
+from repro.core.star_broadcast import StarBroadcast
+
+Factory = Callable[[], WakeUpAlgorithm]
+
+_REGISTRY: Dict[str, Factory] = {
+    "flooding": Flooding,
+    "echo-flooding": EchoFlooding,
+    "dfs-rank": DfsWakeUp,
+    "fast-wakeup": FastWakeUp,
+    "fip06-tree-advice": Fip06TreeAdvice,
+    "sqrt-threshold-advice": SqrtThresholdAdvice,
+    "child-encoding": ChildEncodingAdvice,
+    "spanner-advice": SpannerAdvice,
+    "log-spanner-advice": LogSpannerAdvice,
+    "tree-spanner-advice": TreeSpannerAdvice,
+    "prefix-advice": lambda: PrefixAdvice(beta=0),
+    "star-broadcast": StarBroadcast,
+    "push-gossip": PushGossipWakeUp,
+    "greedy-spanner-advice": lambda: SpannerAdvice(k=3, method="greedy"),
+}
+
+# Table-1 row -> registry name, for cross-referencing in EXPERIMENTS.md.
+TABLE1_ROWS: Dict[str, str] = {
+    "theorem3": "dfs-rank",
+    "theorem4": "fast-wakeup",
+    "corollary1": "fip06-tree-advice",
+    "theorem5a": "sqrt-threshold-advice",
+    "theorem5b": "child-encoding",
+    "theorem6": "spanner-advice",
+    "corollary2": "log-spanner-advice",
+    "baseline": "flooding",
+}
+
+
+def get_algorithm(name: str) -> WakeUpAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def algorithm_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def register(name: str, factory: Factory) -> None:
+    """Register an external algorithm (used by extension experiments)."""
+    _REGISTRY[name] = factory

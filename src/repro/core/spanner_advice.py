@@ -1,0 +1,223 @@
+"""Theorem 6 and Corollary 2 — spanner-based advising schemes (Sec 4.3).
+
+A BFS tree gives O(D)-flavoured time bounds, but the awake distance
+rho_awk can be much smaller than D.  Flooding over a *(2k-1)-spanner* H
+wakes every node within (2k-1) * rho_awk hops of the awake set while
+touching only |E(H)| = O(k n^{1+1/k}) edges.  The remaining question is
+how a KT0 node learns its incident spanner edges cheaply — answered by
+reusing the child-encoding idea on each node's spanner neighborhood:
+
+For every node v, the oracle orders v's spanner neighbors
+u_1, ..., u_s by v's port numbers and heap-structures them; v's advice
+carries the port to u_1, and each u_i's advice carries — keyed by
+*u_i's port back to v*, which is how u_i recognizes which host probed
+it — the pair of ports at v leading to u_{2i} and u_{2i+1}.
+
+Protocol: every node, upon waking (any cause), probes its first spanner
+neighbor; a ``next`` reply reveals two more ports to probe, and so on.
+A probed node is awake (the probe woke it if necessary) and runs the
+same discovery for its own neighborhood, so the wake wave floods H.
+Each spanner edge carries O(1) messages => O(k n^{1+1/k}) messages;
+each neighborhood unfolds in O(log n) alternations over spanner paths
+of stretch 2k-1 => O(k rho_awk log n) time.  Advice per node is
+O((1 + spanner-degree) log n) bits — O(n^{1/k} log^2 n) on average
+(paper Theorem 6; see DESIGN.md for the max-degree caveat).
+
+Corollary 2 is the k = ceil(log2 n) instantiation: the spanner has
+O(n) edges and stretch O(log n), giving O(rho_awk log^2 n) time,
+O(n log^2 n) messages, and O(log^2 n) advice.
+
+Model: asynchronous KT0 CONGEST.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.advice.bits import BitReader, BitWriter, Bits
+from repro.advice.oracle import AdviceMap
+from repro.core.base import BOTH, WakeUpAlgorithm
+from repro.graphs.graph import Graph
+from repro.graphs.spanner import (
+    baswana_sen_spanner,
+    bfs_tree_spanner,
+    greedy_spanner,
+)
+from repro.models.knowledge import NetworkSetup
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+SPROBE = "sp-probe"
+SNEXT = "sp-next"
+
+
+def encode_spanner_advice(
+    first_port: Optional[int],
+    entries: List[Tuple[int, Optional[int], Optional[int]]],
+) -> Bits:
+    """Encode (fc, [(host_port, next1, next2), ...]); gamma-coded.
+
+    ``host_port`` is this node's own port leading to the host whose
+    sibling structure the entry belongs to; ``next1``/``next2`` are
+    ports at the host (0-free: None encoded as flag 0).
+    """
+    w = BitWriter()
+    if first_port is None:
+        w.write_bit(0)
+    else:
+        w.write_bit(1)
+        w.write_gamma(first_port)
+    w.write_gamma0(len(entries))
+    for host_port, n1, n2 in entries:
+        w.write_gamma(host_port)
+        for nxt in (n1, n2):
+            if nxt is None:
+                w.write_bit(0)
+            else:
+                w.write_bit(1)
+                w.write_gamma(nxt)
+    return w.getvalue()
+
+
+def decode_spanner_advice(bits: Bits):
+    r = BitReader(bits)
+    first = r.read_gamma() if r.read_bit() else None
+    entries: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+    count = r.read_gamma0()
+    for _ in range(count):
+        host_port = r.read_gamma()
+        n1 = r.read_gamma() if r.read_bit() else None
+        n2 = r.read_gamma() if r.read_bit() else None
+        entries[host_port] = (n1, n2)
+    return first, entries
+
+
+def spanner_cen_advice(setup: NetworkSetup, spanner: Graph) -> AdviceMap:
+    """Child-encode every node's spanner neighborhood."""
+    ports = setup.ports
+    first_port: Dict = {}
+    entry_lists: Dict = {v: [] for v in setup.graph.vertices()}
+    for v in setup.graph.vertices():
+        nbrs = [
+            u
+            for u in ports.neighbors_in_port_order(v)
+            if spanner.has_edge(v, u)
+        ]
+        first_port[v] = ports.port(v, nbrs[0]) if nbrs else None
+        for i, u in enumerate(nbrs, start=1):
+            n1 = (
+                ports.port(v, nbrs[2 * i - 1])
+                if 2 * i <= len(nbrs)
+                else None
+            )
+            n2 = (
+                ports.port(v, nbrs[2 * i]) if 2 * i + 1 <= len(nbrs) else None
+            )
+            entry_lists[u].append((ports.port(u, v), n1, n2))
+    return AdviceMap(
+        {
+            v: encode_spanner_advice(first_port[v], entry_lists[v])
+            for v in setup.graph.vertices()
+        }
+    )
+
+
+class _SpannerNode(NodeAlgorithm):
+    def __init__(self) -> None:
+        self._started = False
+        self._first: Optional[int] = None
+        self._entries: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        self._decoded = False
+
+    def _decode(self, ctx: NodeContext) -> None:
+        if not self._decoded:
+            self._first, self._entries = decode_spanner_advice(ctx.advice)
+            self._decoded = True
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        # Spanner flooding is symmetric: every node, however woken,
+        # discovers and pings its whole spanner neighborhood.
+        self._decode(ctx)
+        self._started = True
+        if self._first is not None:
+            ctx.send(self._first, (SPROBE,))
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        tag = payload[0]
+        if tag == SPROBE:
+            self._decode(ctx)
+            n1, n2 = self._entries.get(port, (None, None))
+            ctx.send(port, (SNEXT, n1 or 0, n2 or 0))
+        elif tag == SNEXT:
+            _, n1, n2 = payload
+            if n1:
+                ctx.send(n1, (SPROBE,))
+            if n2:
+                ctx.send(n2, (SPROBE,))
+
+
+class SpannerAdvice(WakeUpAlgorithm):
+    """Theorem 6: O(k rho_awk log n) time, O(k n^{1+1/k}) messages,
+    O(n^{1/k} log^2 n) advice; async KT0 CONGEST."""
+
+    name = "spanner-advice"
+    synchrony = BOTH
+    requires_kt1 = False
+    uses_advice = True
+    congest_safe = True
+
+    def __init__(
+        self, k: int = 3, spanner_seed: int = 0, method: str = "baswana-sen"
+    ):
+        if k < 1:
+            raise ValueError("spanner parameter k must be >= 1")
+        if method not in ("baswana-sen", "greedy"):
+            raise ValueError(f"unknown spanner method {method!r}")
+        self.k = k
+        self.method = method
+        self._spanner_seed = spanner_seed
+        self.last_spanner: Optional[Graph] = None
+
+    def _build_spanner(self, setup: NetworkSetup) -> Graph:
+        if self.method == "greedy":
+            # Deterministic, matching the determinism claimed by
+            # Theorem 6 (the oracle is allowed unlimited computation).
+            return greedy_spanner(setup.graph, self.k)
+        return baswana_sen_spanner(
+            setup.graph, self.k, seed=self._spanner_seed
+        )
+
+    def compute_advice(self, setup: NetworkSetup) -> AdviceMap:
+        spanner = self._build_spanner(setup)
+        self.last_spanner = spanner
+        return spanner_cen_advice(setup, spanner)
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return _SpannerNode()
+
+
+class LogSpannerAdvice(SpannerAdvice):
+    """Corollary 2: SpannerAdvice at k = ceil(log2 n) — O(log^2 n)
+    advice, O(n log^2 n) messages, O(rho_awk log^2 n) time."""
+
+    name = "log-spanner-advice"
+
+    def __init__(self, spanner_seed: int = 0, method: str = "baswana-sen"):
+        # k is resolved per-setup; initialize with a placeholder.
+        super().__init__(k=2, spanner_seed=spanner_seed, method=method)
+
+    def _build_spanner(self, setup: NetworkSetup) -> Graph:
+        self.k = max(2, math.ceil(math.log2(max(2, setup.n))))
+        return super()._build_spanner(setup)
+
+
+class TreeSpannerAdvice(SpannerAdvice):
+    """Ablation: the same discovery protocol over a BFS-tree 'spanner'
+    (n - 1 edges, stretch up to the diameter).  Separates the cost of
+    the discovery mechanism from the benefit of the spanner's stretch."""
+
+    name = "tree-spanner-advice"
+
+    def _build_spanner(self, setup: NetworkSetup) -> Graph:
+        return bfs_tree_spanner(setup.graph)

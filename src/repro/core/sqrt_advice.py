@@ -1,0 +1,105 @@
+"""Theorem 5(A) — the sqrt-threshold advising scheme (Sec 4.1).
+
+Same BFS-tree backbone as Corollary 1, but the advice length is capped
+at O(sqrt(n) log n) per node by a degree threshold:
+
+* a **low-degree tree node** (tree degree <= sqrt(n)) receives the
+  explicit list of its tree ports — at most sqrt(n) port numbers of
+  O(log n) bits each;
+* a **high-degree tree node** (tree degree > sqrt(n)) receives a single
+  bit and, upon waking, simply broadcasts over *all* its ports.
+
+Because the tree has n - 1 edges there are at most 2(n-1)/sqrt(n) =
+O(sqrt(n)) high-degree tree nodes, so their broadcasts cost at most
+O(sqrt(n)) * n = O(n^{3/2}) messages; low-degree nodes contribute O(n).
+Time remains O(D) (the wake wave still dominates every BFS-tree path —
+broadcasts only add extra edges).  Average advice stays O(log n) as the
+total port-list length is still O(n log n) bits.
+
+Model: asynchronous KT0 CONGEST.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional
+
+from repro.advice.bits import BitReader, BitWriter, Bits
+from repro.advice.oracle import AdviceMap
+from repro.core.base import BOTH, WakeUpAlgorithm
+from repro.core.tree_util import OracleTree
+from repro.models.knowledge import NetworkSetup
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+WAKE = "swake"
+
+_LOW = 0
+_HIGH = 1
+
+
+def encode_low(tree_ports: List[int], degree: int) -> Bits:
+    w = BitWriter()
+    w.write_bit(_LOW)
+    width = max(1, degree.bit_length())
+    w.write_uint_list([p - 1 for p in tree_ports], width)
+    return w.getvalue()
+
+
+def encode_high() -> Bits:
+    return BitWriter().write_bit(_HIGH).getvalue()
+
+
+def decode(advice: Bits, degree: int) -> Optional[List[int]]:
+    """Returns the tree-port list for low-degree nodes, or None for
+    high-degree nodes (meaning: broadcast everywhere)."""
+    reader = BitReader(advice)
+    if reader.read_bit() == _HIGH:
+        return None
+    width = max(1, degree.bit_length())
+    return [p + 1 for p in reader.read_uint_list(width)]
+
+
+class _SqrtAdviceNode(NodeAlgorithm):
+    def on_wake(self, ctx: NodeContext) -> None:
+        ports = decode(ctx.advice, ctx.degree)
+        if ports is None:
+            ctx.broadcast((WAKE,))
+        else:
+            for port in ports:
+                ctx.send(port, (WAKE,))
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        pass
+
+
+class SqrtThresholdAdvice(WakeUpAlgorithm):
+    """Theorem 5(A): O(D) time, O(n^{3/2}) messages, max advice
+    O(sqrt(n) log n), average O(log n); async KT0 CONGEST."""
+
+    name = "sqrt-threshold-advice"
+    synchrony = BOTH
+    requires_kt1 = False
+    uses_advice = True
+    congest_safe = True
+
+    def __init__(self, threshold: Optional[int] = None):
+        """``threshold`` overrides the sqrt(n) degree cutoff (tests)."""
+        self._threshold = threshold
+
+    def compute_advice(self, setup: NetworkSetup) -> AdviceMap:
+        tree = OracleTree(setup)
+        thresh = self._threshold
+        if thresh is None:
+            thresh = max(1, int(math.isqrt(setup.n)))
+        advice = {}
+        for v in setup.graph.vertices():
+            if tree.tree_degree(v) <= thresh:
+                advice[v] = encode_low(
+                    tree.tree_ports(v), setup.ports.degree(v)
+                )
+            else:
+                advice[v] = encode_high()
+        return AdviceMap(advice)
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return _SqrtAdviceNode()

@@ -1,0 +1,91 @@
+"""Related-work demonstration (Sec 1.3): why all-awake KT1 algorithms
+break under adversarial wake-up.
+
+The asynchronous KT1 MST algorithm of King and Mashregi — used by
+[DKMJ+22] — begins with every node flipping a coin: with probability
+1/sqrt(n log n) a node becomes a "star" and initiates communication,
+while non-star nodes of degree greater than sqrt(n) log^{3/2} n remain
+*silent* until they receive a message.  Under the all-awake assumption
+some star exists w.h.p. and everything proceeds; under adversarial
+wake-up the paper observes (Sec 1.3) that waking exactly one
+high-degree node leaves it a silent non-star with probability
+1 - 1/sqrt(n log n), so the execution deadlocks and the wake-up problem
+is unsolved with high probability.
+
+:class:`StarBroadcast` reproduces this failure mode faithfully enough
+to measure it: woken nodes sample the star coin; stars broadcast;
+silent high-degree non-stars wait forever; low-degree non-stars
+broadcast (they are allowed to talk).  The bench
+``benchmarks/bench_star_failure.py`` wakes a single high-degree node
+and confirms the predicted ~(1 - 1/sqrt(n log n)) failure rate, versus
+the paper's algorithms which never fail.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core.base import BOTH, WakeUpAlgorithm
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+WAKE = "star-wake"
+
+
+class _StarNode(NodeAlgorithm):
+    def __init__(self, star_probability: Optional[float], degree_threshold: Optional[float]):
+        self._p = star_probability
+        self._thresh = degree_threshold
+        self.is_star = False
+        self.broadcasted = False
+
+    def _params(self, ctx: NodeContext):
+        n_hat = 1 << ctx.log2_n_bound
+        p = self._p
+        if p is None:
+            p = 1.0 / math.sqrt(n_hat * math.log(n_hat))
+        thresh = self._thresh
+        if thresh is None:
+            thresh = math.sqrt(n_hat) * math.log(n_hat) ** 1.5
+        return p, thresh
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        p, thresh = self._params(ctx)
+        if ctx.wake_cause == "adversary":
+            self.is_star = ctx.rng.random() < p
+            if self.is_star or ctx.degree <= thresh:
+                self._broadcast(ctx)
+            # else: a silent high-degree non-star — the failure mode.
+        else:
+            # Once *some* message arrives, silence is lifted.
+            self._broadcast(ctx)
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        self._broadcast(ctx)
+
+    def _broadcast(self, ctx: NodeContext) -> None:
+        if not self.broadcasted:
+            self.broadcasted = True
+            ctx.broadcast((WAKE,))
+
+
+class StarBroadcast(WakeUpAlgorithm):
+    """King–Mashregi-style star sampling; fails under adversarial
+    wake-up of a single high-degree node (Sec 1.3)."""
+
+    name = "star-broadcast"
+    synchrony = BOTH
+    requires_kt1 = True  # the MST context is KT1; the demo keeps it
+    uses_advice = False
+    congest_safe = True
+
+    def __init__(
+        self,
+        star_probability: Optional[float] = None,
+        degree_threshold: Optional[float] = None,
+    ):
+        self._p = star_probability
+        self._thresh = degree_threshold
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return _StarNode(self._p, self._thresh)

@@ -1,0 +1,76 @@
+"""Shared oracle-side tree machinery for the advice schemes.
+
+All the KT0 CONGEST advising schemes (Corollary 1, Theorem 5A/5B) hang
+their advice off a BFS tree of the network.  The oracle — which sees
+the graph and all port mappings (Sec 4) — computes the tree centrally;
+this module provides that computation in *port* terms, since KT0 advice
+can only ever reference ports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.graphs.graph import Graph, Vertex
+from repro.graphs.traversal import bfs_children, bfs_tree
+from repro.models.knowledge import NetworkSetup
+
+
+class OracleTree:
+    """A rooted spanning tree, viewed through each node's ports.
+
+    Attributes
+    ----------
+    root:
+        The root vertex (deterministically the minimum-ID vertex unless
+        a root is supplied).
+    parent:
+        vertex -> parent vertex (None for the root).
+    children:
+        vertex -> list of child vertices, ordered by the parent's port
+        numbers (deterministic given the port assignment).
+    """
+
+    def __init__(self, setup: NetworkSetup, root: Optional[Vertex] = None):
+        graph = setup.graph
+        if root is None:
+            root = min(graph.vertices(), key=setup.id_of)
+        parent, depth = bfs_tree(graph, root)
+        if len(parent) != graph.num_vertices:
+            raise ValueError("graph must be connected for tree advice")
+        self.setup = setup
+        self.root = root
+        self.parent: Dict[Vertex, Optional[Vertex]] = parent
+        self.depth = depth
+        children = bfs_children(parent)
+        # Order children by the port number at the parent: a canonical
+        # order both the oracle and (implicitly) the algorithm share.
+        self.children: Dict[Vertex, List[Vertex]] = {
+            v: sorted(kids, key=lambda c: setup.ports.port(v, c))
+            for v, kids in children.items()
+        }
+
+    # ------------------------------------------------------------------
+    def parent_port(self, v: Vertex) -> Optional[int]:
+        """Port at v leading to its parent (None for the root)."""
+        p = self.parent[v]
+        if p is None:
+            return None
+        return self.setup.ports.port(v, p)
+
+    def child_ports(self, v: Vertex) -> List[int]:
+        """Ports at v leading to its children, in child order."""
+        return [self.setup.ports.port(v, c) for c in self.children[v]]
+
+    def tree_ports(self, v: Vertex) -> List[int]:
+        """Ports at v leading to all tree neighbors (parent first)."""
+        ports = []
+        pp = self.parent_port(v)
+        if pp is not None:
+            ports.append(pp)
+        ports.extend(self.child_ports(v))
+        return ports
+
+    def tree_degree(self, v: Vertex) -> int:
+        """Number of tree-incident edges at v (children + parent)."""
+        return len(self.children[v]) + (0 if self.parent[v] is None else 1)

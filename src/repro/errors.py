@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: adding a self-loop, querying a vertex that does not exist,
+    or requesting a generator with impossible parameters (e.g. a
+    d-regular graph on n vertices with n*d odd).
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation reaches an invalid state.
+
+    Examples: a node sending over a port it does not have, an algorithm
+    scheduling an event in the past, or exceeding the configured event
+    budget (which usually indicates a non-terminating protocol).
+    """
+
+
+class ModelViolation(SimulationError):
+    """Raised when an algorithm violates its declared computing model.
+
+    Examples: a CONGEST algorithm sending a message larger than the
+    O(log n)-bit cap, or a KT0 algorithm attempting to read neighbor IDs.
+    """
+
+
+class AdviceError(ReproError):
+    """Raised for malformed advice strings or oracle misuse.
+
+    Examples: decoding past the end of a :class:`~repro.advice.bits.BitReader`,
+    or an oracle emitting advice for a vertex that is not in the graph.
+    """
+
+
+class FieldError(ReproError):
+    """Raised for invalid finite-field construction or arithmetic.
+
+    Examples: constructing GF(q) for non-prime-power q, or inverting the
+    zero element.
+    """
+
+
+class WakeUpFailure(ReproError):
+    """Raised when an execution completes without waking every node.
+
+    Carries the set of nodes that remained asleep so tests and benches
+    can report precisely which part of the network was missed.
+    """
+
+    def __init__(self, asleep: set, message: str | None = None):
+        self.asleep = frozenset(asleep)
+        detail = message or f"{len(self.asleep)} node(s) never woke up"
+        super().__init__(detail)

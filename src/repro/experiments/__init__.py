@@ -1,0 +1,50 @@
+"""Experiment drivers: Table-1 reproduction, sweeps, persistence, and
+advice-corruption robustness."""
+
+from repro.experiments.corruption import (
+    CorruptionPoint,
+    corruption_curve,
+    corruption_trial,
+    flip_bits,
+)
+from repro.experiments.storage import (
+    compare_records,
+    load_records,
+    save_records,
+)
+from repro.experiments.sweeps import (
+    SweepRow,
+    dense_er_all_awake,
+    er_fraction_wake,
+    er_single_wake,
+    grid_corner_wake,
+    sweep,
+    tree_random_wake,
+)
+from repro.experiments.table1 import (
+    Table1Row,
+    measure_table1,
+    render_table1,
+    workload_context,
+)
+
+__all__ = [
+    "CorruptionPoint",
+    "corruption_curve",
+    "corruption_trial",
+    "flip_bits",
+    "compare_records",
+    "load_records",
+    "save_records",
+    "SweepRow",
+    "dense_er_all_awake",
+    "er_fraction_wake",
+    "er_single_wake",
+    "grid_corner_wake",
+    "sweep",
+    "tree_random_wake",
+    "Table1Row",
+    "measure_table1",
+    "render_table1",
+    "workload_context",
+]

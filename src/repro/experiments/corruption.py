@@ -1,0 +1,135 @@
+"""Advice-corruption experiments: how load-bearing is every bit?
+
+Theorem 1's message is that advice bits are *information*: each one the
+oracle spends measurably reduces the algorithm's uncertainty.  The dual
+experiment — corrupt bits and watch schemes break — makes that tangible
+and doubles as a robustness study for deployments where the advice is
+provisioned configuration that can rot.
+
+:func:`corruption_trial` flips ``flips`` uniformly random advice bits
+across the network and classifies the outcome:
+
+* ``"ok"`` — everyone woke despite the corruption (the flipped bits
+  were redundant for this wake set);
+* ``"asleep"`` — the run completed but left nodes sleeping (silent
+  misbehaviour: the scheme followed wrong ports);
+* ``"error"`` — a node detected the corruption (decode underflow,
+  invalid port, or a model violation).
+
+:func:`corruption_curve` sweeps the flip count and reports the failure
+rate per point — the "advice integrity" curve of a scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.advice.bits import Bits
+from repro.errors import AdviceError, ReproError, SimulationError, WakeUpFailure
+from repro.models.knowledge import NetworkSetup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def flip_bits(
+    advice: Dict, flips: int, rng: random.Random
+) -> Dict:
+    """Return a copy of an advice map with ``flips`` random bit flips.
+
+    Flip positions are drawn uniformly over the concatenation of all
+    advice strings; nodes with empty advice are never touched.
+    """
+    lengths = {v: len(b) for v, b in advice.items() if len(b) > 0}
+    total = sum(lengths.values())
+    if total == 0:
+        return dict(advice)
+    mutable = {v: list(b) for v, b in advice.items()}
+    for _ in range(flips):
+        target = rng.randrange(total)
+        for v, length in lengths.items():
+            if target < length:
+                mutable[v][target] ^= 1
+                break
+            target -= length
+    return {v: Bits(bits) for v, bits in mutable.items()}
+
+
+@dataclass
+class CorruptionPoint:
+    flips: int
+    trials: int
+    ok: int
+    asleep: int
+    error: int
+
+    @property
+    def failure_rate(self) -> float:
+        return (self.asleep + self.error) / self.trials
+
+
+def corruption_trial(
+    setup: NetworkSetup,
+    algorithm,
+    awake: Sequence,
+    flips: int,
+    seed: int = 0,
+    max_events: int = 100_000,
+) -> str:
+    """One corrupted run; returns "ok" / "asleep" / "error".
+
+    ``max_events`` caps the execution: corrupted pointers can send a
+    scheme into message cascades far beyond its honest complexity, and
+    budget exhaustion is classified as a detected error.
+    """
+    if not algorithm.uses_advice:
+        raise ReproError("corruption experiments need an advising scheme")
+    advice_map = algorithm.compute_advice(setup)
+    rng = random.Random(seed)
+    corrupted = flip_bits(dict(advice_map.items()), flips, rng)
+    poisoned = setup.with_advice(corrupted)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    try:
+        run_wakeup(
+            poisoned, algorithm, adversary, engine="async", seed=seed + 1,
+            max_events=max_events,
+        )
+    except WakeUpFailure:
+        return "asleep"
+    except (AdviceError, SimulationError):
+        return "error"
+    return "ok"
+
+
+def corruption_curve(
+    setup: NetworkSetup,
+    algorithm_factory,
+    awake: Sequence,
+    flip_counts: Sequence[int],
+    trials: int = 10,
+    seed: int = 0,
+) -> List[CorruptionPoint]:
+    """Failure rate as a function of flipped advice bits."""
+    points = []
+    for flips in flip_counts:
+        outcomes = {"ok": 0, "asleep": 0, "error": 0}
+        for t in range(trials):
+            result = corruption_trial(
+                setup,
+                algorithm_factory(),
+                awake,
+                flips,
+                seed=seed * 1009 + flips * 31 + t,
+            )
+            outcomes[result] += 1
+        points.append(
+            CorruptionPoint(
+                flips=flips,
+                trials=trials,
+                ok=outcomes["ok"],
+                asleep=outcomes["asleep"],
+                error=outcomes["error"],
+            )
+        )
+    return points

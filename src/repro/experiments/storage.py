@@ -1,0 +1,102 @@
+"""Persistence for experiment results.
+
+Benches print tables; long-lived reproductions also want the raw
+numbers on disk so EXPERIMENTS.md can be regenerated and diffs between
+runs inspected.  This module serializes sweep rows, Table-1 rows, and
+generic record dicts to a stable JSON layout with run metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of result objects to JSON-safe values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, frozenset):
+        return sorted(repr(x) for x in value)
+    return repr(value)
+
+
+def save_records(
+    path: PathLike,
+    records: Sequence[Any],
+    experiment: str,
+    params: Dict[str, Any] | None = None,
+) -> None:
+    """Write records (dataclasses or dicts) plus run metadata as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "experiment": experiment,
+        "params": _jsonable(params or {}),
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "records": [_jsonable(r) for r in records],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_records(path: PathLike) -> Dict[str, Any]:
+    """Load a result file; validates the format version."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ReproError(f"no results file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt results file {path}: {exc}") from None
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ReproError(
+            f"results file {path} has format version "
+            f"{payload.get('format_version')}, expected {FORMAT_VERSION}"
+        )
+    return payload
+
+
+def compare_records(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    key: str,
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Report records whose ``key`` drifted by more than ``tolerance``
+    (relative).  Records are matched positionally; a length mismatch is
+    itself reported.  Used to spot regressions between stored runs."""
+    drifts: List[str] = []
+    olds, news = old.get("records", []), new.get("records", [])
+    if len(olds) != len(news):
+        drifts.append(
+            f"record count changed: {len(olds)} -> {len(news)}"
+        )
+    for i, (a, b) in enumerate(zip(olds, news)):
+        va, vb = a.get(key), b.get(key)
+        if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+            continue
+        if va == 0:
+            continue
+        rel = abs(vb - va) / abs(va)
+        if rel > tolerance:
+            drifts.append(
+                f"record {i}: {key} drifted {va} -> {vb} ({rel:.0%})"
+            )
+    return drifts

@@ -1,0 +1,182 @@
+"""Parameter-sweep utilities shared by benches and examples.
+
+A sweep runs one algorithm over a family of growing networks, repeats
+each size a few times with fresh seeds, and aggregates the Table-1
+measures per size.  Workload constructors are plain callables
+``n -> (graph, awake_vertices)`` so benches compose them freely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import summarize
+from repro.core.base import WakeUpAlgorithm
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, DelayStrategy, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+Workload = Callable[[int], Tuple[Graph, List]]
+
+
+@dataclass
+class SweepRow:
+    """Aggregated measurements for one network size."""
+
+    n: int
+    rho_awk: float
+    messages: float
+    messages_std: float
+    time: float
+    time_all_awake: float
+    bits: float
+    advice_max_bits: float
+    advice_avg_bits: float
+    trials: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "rho": self.rho_awk,
+            "messages": self.messages,
+            "time": self.time,
+            "time_awake": self.time_all_awake,
+            "adv_max": self.advice_max_bits,
+            "adv_avg": self.advice_avg_bits,
+        }
+
+
+def sweep(
+    algorithm_factory: Callable[[], WakeUpAlgorithm],
+    workload: Workload,
+    sizes: Sequence[int],
+    engine: str = "async",
+    knowledge: Knowledge = Knowledge.KT1,
+    bandwidth: str = "LOCAL",
+    trials: int = 3,
+    seed: int = 0,
+    delays: Optional[DelayStrategy] = None,
+) -> List[SweepRow]:
+    """Run ``algorithm`` across ``sizes``; one SweepRow per size."""
+    rows: List[SweepRow] = []
+    for n in sizes:
+        msgs: List[float] = []
+        times: List[float] = []
+        awake_times: List[float] = []
+        bits: List[float] = []
+        rho = 0.0
+        adv_max = adv_avg = 0.0
+        for t in range(trials):
+            run_seed = seed * 10_007 + n * 101 + t
+            graph, awake = workload(n)
+            rho = float(awake_distance(graph, awake))
+            setup = make_setup(
+                graph,
+                knowledge=knowledge,
+                bandwidth=bandwidth,
+                seed=run_seed,
+            )
+            adversary = Adversary(
+                WakeSchedule.all_at_once(awake),
+                delays or UnitDelay(),
+            )
+            result = run_wakeup(
+                setup,
+                algorithm_factory(),
+                adversary,
+                engine=engine,
+                seed=run_seed + 1,
+            )
+            msgs.append(result.messages)
+            times.append(result.time)
+            awake_times.append(result.time_all_awake)
+            bits.append(result.bits)
+            adv_max = max(adv_max, result.advice_max_bits)
+            adv_avg = max(adv_avg, result.advice_avg_bits)
+        m = summarize(msgs)
+        rows.append(
+            SweepRow(
+                n=n,
+                rho_awk=rho,
+                messages=m.mean,
+                messages_std=m.std,
+                time=summarize(times).mean,
+                time_all_awake=summarize(awake_times).mean,
+                bits=summarize(bits).mean,
+                advice_max_bits=adv_max,
+                advice_avg_bits=adv_avg,
+                trials=trials,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Standard workloads
+# ----------------------------------------------------------------------
+def er_single_wake(avg_degree: float = 6.0, seed: int = 0) -> Workload:
+    """Connected Erdős–Rényi with one adversary-woken node."""
+    from repro.graphs.generators import connected_erdos_renyi
+
+    def build(n: int):
+        g = connected_erdos_renyi(n, avg_degree / max(1, n - 1), seed=seed + n)
+        return g, [next(iter(g.vertices()))]
+
+    return build
+
+
+def er_fraction_wake(
+    avg_degree: float = 6.0, fraction: float = 0.1, seed: int = 0
+) -> Workload:
+    """Connected ER; a random ``fraction`` of nodes woken at time 0."""
+    from repro.graphs.generators import connected_erdos_renyi
+
+    def build(n: int):
+        g = connected_erdos_renyi(n, avg_degree / max(1, n - 1), seed=seed + n)
+        rng = random.Random(seed * 31 + n)
+        count = max(1, int(fraction * n))
+        awake = rng.sample(list(g.vertices()), count)
+        return g, awake
+
+    return build
+
+
+def dense_er_all_awake(p: float = 0.5, seed: int = 0) -> Workload:
+    """Dense ER with every node awake — rho_awk = 0 message stress."""
+    from repro.graphs.generators import connected_erdos_renyi
+
+    def build(n: int):
+        g = connected_erdos_renyi(n, p, seed=seed + n)
+        return g, list(g.vertices())
+
+    return build
+
+
+def grid_corner_wake() -> Workload:
+    """Square grid, corner woken — maximal rho_awk."""
+    import math
+
+    from repro.graphs.generators import grid_graph
+
+    def build(n: int):
+        side = max(2, int(math.isqrt(n)))
+        g = grid_graph(side, side)
+        return g, [0]
+
+    return build
+
+
+def tree_random_wake(seed: int = 0) -> Workload:
+    """Random tree with one random node woken."""
+    from repro.graphs.generators import random_tree
+
+    def build(n: int):
+        g = random_tree(n, seed=seed + n)
+        rng = random.Random(seed * 17 + n)
+        return g, [rng.randrange(n)]
+
+    return build

@@ -1,0 +1,197 @@
+"""Reproduce Table 1 end to end.
+
+For every row of the paper's Table 1 this module runs the
+corresponding implementation on a standard workload, measures the
+three complexity columns (time, messages, max advice), and renders a
+measured table side by side with the paper's asymptotic claims.  The
+EXPERIMENTS.md numbers come from here (and from the per-row benches,
+which sweep n and fit exponents).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.report import render_table
+from repro.core.base import WakeUpAlgorithm
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.fast_wakeup import FastWakeUp
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.flooding import Flooding
+from repro.core.spanner_advice import LogSpannerAdvice, SpannerAdvice
+from repro.core.sqrt_advice import SqrtThresholdAdvice
+from repro.graphs.generators import connected_erdos_renyi
+from repro.graphs.traversal import awake_distance, diameter
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UniformRandomDelay, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+@dataclass
+class Table1Row:
+    """One measured Table-1 row."""
+
+    row: str
+    algorithm: str
+    model: str
+    paper_time: str
+    paper_messages: str
+    paper_advice: str
+    time: float
+    messages: int
+    advice_max_bits: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "row": self.row,
+            "algorithm": self.algorithm,
+            "model": self.model,
+            "time": self.time,
+            "paper_time": self.paper_time,
+            "messages": self.messages,
+            "paper_msgs": self.paper_messages,
+            "adv_max": self.advice_max_bits,
+            "paper_advice": self.paper_advice,
+        }
+
+
+_ROWS = [
+    # (row label, factory, engine, knowledge, bandwidth, paper bounds)
+    (
+        "Thm 3",
+        DfsWakeUp,
+        "async",
+        Knowledge.KT1,
+        "LOCAL",
+        ("O(n log n)", "O(n log n)", "-"),
+    ),
+    (
+        "Thm 4",
+        FastWakeUp,
+        "sync",
+        Knowledge.KT1,
+        "LOCAL",
+        ("O(rho)", "O(n^1.5 sqrt(log n))", "-"),
+    ),
+    (
+        "Cor 1",
+        Fip06TreeAdvice,
+        "async",
+        Knowledge.KT0,
+        "CONGEST",
+        ("O(D)", "O(n)", "O(n) max / O(log n) avg"),
+    ),
+    (
+        "Thm 5A",
+        SqrtThresholdAdvice,
+        "async",
+        Knowledge.KT0,
+        "CONGEST",
+        ("O(D)", "O(n^1.5)", "O(sqrt(n) log n)"),
+    ),
+    (
+        "Thm 5B",
+        ChildEncodingAdvice,
+        "async",
+        Knowledge.KT0,
+        "CONGEST",
+        ("O(D log n)", "O(n)", "O(log n)"),
+    ),
+    (
+        "Thm 6",
+        lambda: SpannerAdvice(k=3),
+        "async",
+        Knowledge.KT0,
+        "CONGEST",
+        ("O(k rho log n)", "O(k n^{1+1/k})", "O(n^{1/k} log^2 n)"),
+    ),
+    (
+        "Cor 2",
+        LogSpannerAdvice,
+        "async",
+        Knowledge.KT0,
+        "CONGEST",
+        ("O(rho log^2 n)", "O(n log^2 n)", "O(log^2 n)"),
+    ),
+    (
+        "baseline",
+        Flooding,
+        "async",
+        Knowledge.KT0,
+        "CONGEST",
+        ("rho", "Theta(m)", "-"),
+    ),
+]
+
+
+def measure_table1(
+    n: int = 200,
+    avg_degree: float = 8.0,
+    awake_fraction: float = 0.05,
+    seed: int = 0,
+) -> List[Table1Row]:
+    """Run every Table-1 algorithm on a shared ER workload."""
+    import random as _random
+
+    graph = connected_erdos_renyi(
+        n, avg_degree / max(1, n - 1), seed=seed
+    )
+    rng = _random.Random(seed + 1)
+    awake = rng.sample(
+        list(graph.vertices()), max(1, int(awake_fraction * n))
+    )
+    rows: List[Table1Row] = []
+    for label, factory, engine, knowledge, bandwidth, bounds in _ROWS:
+        setup = make_setup(
+            graph, knowledge=knowledge, bandwidth=bandwidth, seed=seed + 2
+        )
+        delays = UnitDelay() if engine == "sync" else UniformRandomDelay(seed)
+        adversary = Adversary(WakeSchedule.all_at_once(awake), delays)
+        result = run_wakeup(
+            setup, factory(), adversary, engine=engine, seed=seed + 3
+        )
+        rows.append(
+            Table1Row(
+                row=label,
+                algorithm=result.algorithm,
+                model=f"{engine}/{knowledge.value}/{bandwidth}",
+                paper_time=bounds[0],
+                paper_messages=bounds[1],
+                paper_advice=bounds[2],
+                time=result.time,
+                messages=result.messages,
+                advice_max_bits=result.advice_max_bits,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    return render_table(
+        [r.as_dict() for r in rows],
+        title="Table 1 (measured vs paper bounds)",
+    )
+
+
+def workload_context(
+    n: int = 200, avg_degree: float = 8.0, awake_fraction: float = 0.05,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """The D / rho / m context values for a measured table."""
+    import random as _random
+
+    graph = connected_erdos_renyi(n, avg_degree / max(1, n - 1), seed=seed)
+    rng = _random.Random(seed + 1)
+    awake = rng.sample(
+        list(graph.vertices()), max(1, int(awake_fraction * n))
+    )
+    return {
+        "n": float(n),
+        "m": float(graph.num_edges),
+        "diameter": float(diameter(graph)),
+        "rho_awk": float(awake_distance(graph, awake)),
+        "log2n": math.log2(n),
+    }

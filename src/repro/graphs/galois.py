@@ -1,0 +1,301 @@
+"""Finite-field arithmetic GF(p^m), built from scratch.
+
+The Lazebnik–Ustimenko high-girth graphs D(k, q) (used by the paper's
+KT1 lower-bound class 𝒢ₖ, Sec 2.2) are defined over an arbitrary
+finite field GF(q) with q a prime power.  This module provides exactly
+that substrate:
+
+* ``GF(p)`` — prime fields via modular arithmetic;
+* ``GF(p^m)`` — extension fields as polynomials over GF(p) modulo a
+  monic irreducible polynomial found by exhaustive search (fields here
+  are tiny: q is the graph degree, so q <= a few dozen).
+
+Elements are represented canonically as integers in ``range(q)``: the
+integer ``a_0 + a_1*p + ... + a_{m-1}*p^{m-1}`` encodes the polynomial
+``a_0 + a_1 x + ... + a_{m-1} x^{m-1}``.  This makes elements directly
+usable as dict keys and graph-vertex coordinate entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import FieldError
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality check by trial division (fields are tiny)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def factor_prime_power(q: int) -> Tuple[int, int]:
+    """Write q = p^m for prime p, or raise :class:`FieldError`."""
+    if q < 2:
+        raise FieldError(f"{q} is not a prime power")
+    for p in range(2, q + 1):
+        if not is_prime(p):
+            continue
+        if q % p != 0:
+            continue
+        m = 0
+        rest = q
+        while rest % p == 0:
+            rest //= p
+            m += 1
+        if rest == 1:
+            return p, m
+        raise FieldError(f"{q} is not a prime power")
+    raise FieldError(f"{q} is not a prime power")
+
+
+def _poly_trim(poly: List[int]) -> List[int]:
+    """Drop trailing zero coefficients."""
+    while poly and poly[-1] == 0:
+        poly.pop()
+    return poly
+
+
+def _poly_mod(num: List[int], den: Sequence[int], p: int) -> List[int]:
+    """Remainder of polynomial division over GF(p); ``den`` must be monic."""
+    num = list(num)
+    dden = len(den) - 1
+    while len(num) - 1 >= dden and num:
+        shift = len(num) - 1 - dden
+        coef = num[-1]
+        for i, d in enumerate(den):
+            num[shift + i] = (num[shift + i] - coef * d) % p
+        _poly_trim(num)
+    return num
+
+
+def _poly_mul(a: Sequence[int], b: Sequence[int], p: int) -> List[int]:
+    """Product of polynomials over GF(p)."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[i + j] = (out[i + j] + ai * bj) % p
+    return _poly_trim(out)
+
+
+def find_irreducible(p: int, m: int) -> List[int]:
+    """Find a monic irreducible polynomial of degree m over GF(p).
+
+    Irreducibility is checked by verifying the polynomial has no root
+    and no monic factor of degree 2..m//2 (exhaustive; fine for the tiny
+    fields used here).  Returned as a coefficient list (low degree
+    first) of length m+1 with leading coefficient 1.
+    """
+    if m == 1:
+        return [0, 1]  # x itself (any monic degree-1 poly is irreducible)
+
+    def candidates():
+        # Iterate monic degree-m polynomials by the integer encoding of
+        # their lower coefficients.
+        for code in range(p**m):
+            coeffs = []
+            c = code
+            for _ in range(m):
+                coeffs.append(c % p)
+                c //= p
+            yield coeffs + [1]
+
+    def divides(d: Sequence[int], f: Sequence[int]) -> bool:
+        return not _poly_mod(list(f), d, p)
+
+    def monic_polys(deg: int):
+        for code in range(p**deg):
+            coeffs = []
+            c = code
+            for _ in range(deg):
+                coeffs.append(c % p)
+                c //= p
+            yield coeffs + [1]
+
+    for f in candidates():
+        if f[0] == 0:
+            continue  # divisible by x
+        # Root check (degree-1 factor check).
+        if any(_poly_eval(f, a, p) == 0 for a in range(p)):
+            continue
+        reducible = False
+        for deg in range(2, m // 2 + 1):
+            for d in monic_polys(deg):
+                if divides(d, f):
+                    reducible = True
+                    break
+            if reducible:
+                break
+        if not reducible:
+            return f
+    raise FieldError(f"no irreducible polynomial found for GF({p}^{m})")
+
+
+def _poly_eval(poly: Sequence[int], x: int, p: int) -> int:
+    acc = 0
+    for c in reversed(poly):
+        acc = (acc * x + c) % p
+    return acc
+
+
+class GF:
+    """The finite field GF(q) for a prime power q.
+
+    Elements are integers in ``range(q)`` under the canonical polynomial
+    encoding described in the module docstring.  For prime q the
+    encoding coincides with ordinary integers mod q.
+
+    >>> f = GF(4)
+    >>> f.mul(2, 2) in range(4)
+    True
+    >>> all(f.mul(a, f.inv(a)) == f.one for a in range(1, 4))
+    True
+    """
+
+    def __init__(self, q: int):
+        self.q = q
+        self.p, self.m = factor_prime_power(q)
+        self.zero = 0
+        self.one = 1
+        if self.m > 1:
+            self._modulus = find_irreducible(self.p, self.m)
+            self._mul_table = self._build_mul_table()
+        else:
+            self._modulus = None
+            self._mul_table = None
+        self._inv_table = self._build_inv_table()
+
+    # -- encoding helpers ------------------------------------------------
+    def _decode(self, a: int) -> List[int]:
+        coeffs = []
+        for _ in range(self.m):
+            coeffs.append(a % self.p)
+            a //= self.p
+        return _poly_trim(coeffs)
+
+    def _encode(self, poly: Sequence[int]) -> int:
+        acc = 0
+        for c in reversed(poly):
+            acc = acc * self.p + c
+        return acc
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a < self.q:
+            raise FieldError(f"{a} is not an element of GF({self.q})")
+
+    # -- table construction ----------------------------------------------
+    def _build_mul_table(self) -> List[List[int]]:
+        table = [[0] * self.q for _ in range(self.q)]
+        for a in range(self.q):
+            pa = self._decode(a)
+            for b in range(a, self.q):
+                pb = self._decode(b)
+                prod = _poly_mod(_poly_mul(pa, pb, self.p), self._modulus, self.p)
+                val = self._encode(prod)
+                table[a][b] = val
+                table[b][a] = val
+        return table
+
+    def _build_inv_table(self) -> List[int]:
+        inv = [0] * self.q
+        for a in range(1, self.q):
+            for b in range(1, self.q):
+                if self.mul(a, b) == 1:
+                    inv[a] = b
+                    break
+            else:
+                raise FieldError(
+                    f"element {a} has no inverse: GF({self.q}) table broken"
+                )
+        return inv
+
+    # -- arithmetic --------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition."""
+        self._check(a)
+        self._check(b)
+        if self.m == 1:
+            return (a + b) % self.p
+        # Coefficient-wise addition mod p.
+        out = 0
+        mult = 1
+        for _ in range(self.m):
+            out += ((a % self.p + b % self.p) % self.p) * mult
+            a //= self.p
+            b //= self.p
+            mult *= self.p
+        return out
+
+    def neg(self, a: int) -> int:
+        """Additive inverse."""
+        self._check(a)
+        if self.m == 1:
+            return (-a) % self.p
+        out = 0
+        mult = 1
+        for _ in range(self.m):
+            out += ((-(a % self.p)) % self.p) * mult
+            a //= self.p
+            mult *= self.p
+        return out
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction."""
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        self._check(a)
+        self._check(b)
+        if self.m == 1:
+            return (a * b) % self.p
+        return self._mul_table[a][b]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of a nonzero element."""
+        self._check(a)
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        if self.m == 1:
+            return pow(a, self.p - 2, self.p)
+        return self._inv_table[a]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division by a nonzero element."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """Exponentiation by squaring (negative e uses the inverse)."""
+        self._check(a)
+        if e < 0:
+            a = self.inv(a)
+            e = -e
+        out = self.one
+        base = a
+        while e:
+            if e & 1:
+                out = self.mul(out, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return out
+
+    def elements(self) -> range:
+        """All field elements, 0..q-1."""
+        return range(self.q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF({self.q})"

@@ -1,0 +1,215 @@
+"""Core undirected-graph data structure.
+
+The simulator and all wake-up algorithms operate on instances of
+:class:`Graph`: a simple (no self-loops, no multi-edges) undirected graph
+with hashable vertex labels.  The implementation favours predictable
+iteration order — vertices and neighbors are reported in insertion order —
+because deterministic executions are a hard requirement for reproducible
+experiments (see DESIGN.md §6).
+
+The class is intentionally small; graph *algorithms* (BFS, diameter,
+girth, ...) live in :mod:`repro.graphs.traversal` and graph *generators*
+in :mod:`repro.graphs.generators`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.errors import GraphError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class Graph:
+    """A simple undirected graph with insertion-ordered adjacency.
+
+    Vertices may be any hashable values.  Edges are unordered pairs of
+    distinct vertices.  Parallel edges and self-loops are rejected.
+
+    >>> g = Graph.from_edges([(1, 2), (2, 3)])
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.num_edges
+    2
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
+        self._adj: Dict[Vertex, Dict[Vertex, None]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], vertices: Iterable[Vertex] = ()
+    ) -> "Graph":
+        """Build a graph from an edge list (plus optional isolated vertices)."""
+        g = cls(vertices)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add vertex ``v``; a no-op if it is already present."""
+        if v not in self._adj:
+            self._adj[v] = {}
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Raises :class:`GraphError` on self-loops or duplicate edges.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            raise GraphError(f"edge ({u!r}, {v!r}) already present")
+        self._adj[u][v] = None
+        self._adj[v][u] = None
+
+    def add_edge_safe(self, u: Vertex, v: Vertex) -> bool:
+        """Like :meth:`add_edge` but returns ``False`` instead of raising on
+        a duplicate edge.  Self-loops still raise."""
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u][v] = None
+        self._adj[v][u] = None
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; raises if it does not exist."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not present")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate vertices in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each edge exactly once, as ``(u, v)`` with ``u`` inserted
+        before ``v`` when orderable by insertion position."""
+        seen: set = set()
+        for u in self._adj:
+            for v in self._adj[u]:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> List[Vertex]:
+        """Neighbors of ``v`` in insertion order (a fresh list)."""
+        try:
+            return list(self._adj[v])
+        except KeyError:
+            raise GraphError(f"vertex {v!r} not in graph") from None
+
+    def degree(self, v: Vertex) -> int:
+        try:
+            return len(self._adj[v])
+        except KeyError:
+            raise GraphError(f"vertex {v!r} not in graph") from None
+
+    def max_degree(self) -> int:
+        """Maximum degree; 0 for the empty graph."""
+        return max((len(n) for n in self._adj.values()), default=0)
+
+    def min_degree(self) -> int:
+        """Minimum degree; 0 for the empty graph."""
+        return min((len(n) for n in self._adj.values()), default=0)
+
+    def average_degree(self) -> float:
+        """Average degree (2m/n); 0.0 for the empty graph."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """Induced subgraph on ``keep`` (vertices not present are ignored)."""
+        keep_set = {v for v in keep if v in self._adj}
+        g = Graph(keep_set)
+        for u in keep_set:
+            for v in self._adj[u]:
+                if v in keep_set and not g.has_edge(u, v):
+                    g.add_edge(u, v)
+        return g
+
+    def relabeled(self, mapping: Dict[Vertex, Vertex]) -> "Graph":
+        """Return a copy with vertices renamed through ``mapping``.
+
+        Every vertex must appear in ``mapping`` and the mapping must be
+        injective, otherwise :class:`GraphError` is raised.
+        """
+        targets = list(mapping.values())
+        if len(set(targets)) != len(targets):
+            raise GraphError("relabeling map is not injective")
+        g = Graph()
+        for v in self._adj:
+            if v not in mapping:
+                raise GraphError(f"vertex {v!r} missing from relabeling map")
+            g.add_vertex(mapping[v])
+        for u, v in self.edges():
+            g.add_edge(mapping[u], mapping[v])
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder glue
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if set(self._adj) != set(other._adj):
+            return False
+        return all(
+            set(self._adj[v]) == set(other._adj[v]) for v in self._adj
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(n={self.num_vertices}, m={self.num_edges})"
+        )

@@ -1,0 +1,40 @@
+"""Lower-bound constructions and empirical harnesses (Sec 2)."""
+
+from repro.lowerbounds.graph_g import ClassG, build_class_g
+from repro.lowerbounds.graph_gk import ClassGk, build_class_gk, verify_fact1
+from repro.lowerbounds.nih import NIHWrapper
+from repro.lowerbounds.theorem1 import (
+    TradeoffPoint,
+    advice_port_samples,
+    run_prefix_tradeoff,
+    small_port_usage_fraction,
+    theorem1_message_bound,
+)
+from repro.lowerbounds.theorem2 import (
+    OneShotProbe,
+    SwapExperiment,
+    Theorem2Point,
+    TranscriptFlooding,
+    id_swap_transcript_check,
+    run_time_restricted,
+)
+
+__all__ = [
+    "ClassG",
+    "build_class_g",
+    "ClassGk",
+    "build_class_gk",
+    "verify_fact1",
+    "NIHWrapper",
+    "TradeoffPoint",
+    "advice_port_samples",
+    "run_prefix_tradeoff",
+    "small_port_usage_fraction",
+    "theorem1_message_bound",
+    "OneShotProbe",
+    "SwapExperiment",
+    "Theorem2Point",
+    "TranscriptFlooding",
+    "id_swap_transcript_check",
+    "run_time_restricted",
+]

@@ -1,0 +1,114 @@
+"""The KT0 lower-bound graph class 𝒢 (Sec 2, Figure 1).
+
+A graph of 3n nodes over three sets:
+
+* U = {u_1, ..., u_n} — padding nodes;
+* V = {v_1, ..., v_n} — the *center* nodes, all initially awake;
+* W = {w_1, ..., w_n} — sleeping pendant nodes.
+
+Edges: a complete bipartite graph between U and V (every center has
+degree n + 1), plus the perfect matching {v_i, w_i}.  w_i is v_i's
+*crucial neighbor*: the only way w_i ever wakes is a message straight
+from v_i, and under KT0 v_i has no idea which of its n + 1 ports leads
+there.  Node IDs follow a fixed permutation of [3n]; the randomness of
+the input distribution lives entirely in the *port mappings*, sampled
+uniformly and independently per node (Theorem 1's input distribution).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.models.knowledge import Knowledge, NetworkSetup
+from repro.models.congest import local_model, congest_model
+from repro.models.ports import PortAssignment
+
+# Vertex labels: ("U", i), ("V", i), ("W", i) for i in range(n).
+
+
+@dataclass
+class ClassG:
+    """One instance of the class-𝒢 construction.
+
+    ``centers`` (V) is the canonical initially-awake set; ``matching``
+    records each center's crucial pendant.
+    """
+
+    n: int
+    graph: Graph
+    centers: List[Tuple[str, int]]
+    padding: List[Tuple[str, int]]
+    pendants: List[Tuple[str, int]]
+    matching: Dict[Tuple[str, int], Tuple[str, int]]  # v_i -> w_i
+
+    def crucial_neighbor(self, center) -> Tuple[str, int]:
+        return self.matching[center]
+
+    def make_setup(
+        self,
+        seed: random.Random | int | None = None,
+        bandwidth: str = "LOCAL",
+        knowledge: Knowledge = Knowledge.KT0,
+    ) -> NetworkSetup:
+        """Sample G ~ 𝒢: fixed IDs, uniformly random port mappings.
+
+        The default KT0 LOCAL matches Theorem 1's setting; tests also
+        use KT1 for cross-checks.
+        """
+        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        ids = fixed_ids(self)
+        ports = PortAssignment.random(self.graph, rng)
+        bw = (
+            local_model()
+            if bandwidth == "LOCAL"
+            else congest_model(self.graph.num_vertices)
+        )
+        return NetworkSetup(
+            graph=self.graph,
+            ids=ids,
+            ports=ports,
+            knowledge=knowledge,
+            bandwidth=bw,
+        )
+
+
+def fixed_ids(inst: "ClassG") -> Dict:
+    """The fixed ID permutation of Sec 2: u_i -> i+1, w_i -> n+i+1,
+    v_i -> 2n+i+1 (an arbitrary but fixed bijection onto [3n])."""
+    ids: Dict = {}
+    for i in range(inst.n):
+        ids[("U", i)] = i + 1
+        ids[("W", i)] = inst.n + i + 1
+        ids[("V", i)] = 2 * inst.n + i + 1
+    return ids
+
+
+def build_class_g(n: int) -> ClassG:
+    """Construct the (deterministic) topology of 𝒢 with parameter n."""
+    if n < 1:
+        raise GraphError("class 𝒢 requires n >= 1")
+    g = Graph()
+    centers = [("V", i) for i in range(n)]
+    padding = [("U", i) for i in range(n)]
+    pendants = [("W", i) for i in range(n)]
+    for v in padding + centers + pendants:
+        g.add_vertex(v)
+    for i in range(n):
+        for j in range(n):
+            g.add_edge(("U", i), ("V", j))
+    matching = {}
+    for i in range(n):
+        g.add_edge(("V", i), ("W", i))
+        matching[("V", i)] = ("W", i)
+    return ClassG(
+        n=n,
+        graph=g,
+        centers=centers,
+        padding=padding,
+        pendants=pendants,
+        matching=matching,
+    )

@@ -1,0 +1,150 @@
+"""The KT1 lower-bound graph class 𝒢ₖ (Sec 2.2, Figure 2).
+
+Start from the Lazebnik–Ustimenko bipartite graph D(k, q) with n = q^k
+vertices per side (girth >= k + 5 for odd k, Fact 1), call the point
+side V (*centers*, initially awake) and the line side U; then attach a
+pendant w_i to every center v_i.  Every center has degree
+d = n^{1/k} + 1, the graph has Omega(n^{1+1/k}) edges, and — because of
+the girth — no information about a center's neighborhood can take a
+shortcut around any single incident edge within k + 2 rounds (the
+engine of Lemmas 5 and 6).
+
+The input distribution fixes the center IDs (v_j gets 2n + j) and
+assigns the IDs of U ∪ W by a uniformly random permutation of [2n]
+(opposite to class 𝒢, where ports were random and IDs fixed — under
+KT1 ports are irrelevant and IDs carry the hidden information).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.highgirth import DkqGraph, dkq_graph
+from repro.models.congest import congest_model, local_model
+from repro.models.knowledge import Knowledge, NetworkSetup
+from repro.models.ports import PortAssignment
+
+
+@dataclass
+class ClassGk:
+    """One instance of the class-𝒢ₖ topology (IDs sampled separately)."""
+
+    k: int
+    q: int
+    n: int  # nodes per original side (= q^k)
+    graph: Graph
+    centers: List  # the point side + their labels
+    padding: List  # the line side (U)
+    pendants: List
+    matching: Dict
+    dkq: DkqGraph
+
+    @property
+    def center_degree(self) -> int:
+        """d = n^{1/k} + 1 (Fact 1.1)."""
+        return self.q + 1
+
+    def crucial_neighbor(self, center):
+        return self.matching[center]
+
+    def core_edge_count(self) -> int:
+        """|E(D(k,q))| = q * q^k = n^{1 + 1/k} (Fact 1.2)."""
+        return self.q ** (self.k + 1)
+
+    # ------------------------------------------------------------------
+    def make_setup(
+        self,
+        seed: random.Random | int | None = None,
+        bandwidth: str = "LOCAL",
+        id_swap: Optional[Tuple] = None,
+    ) -> NetworkSetup:
+        """Sample an ID assignment: centers fixed at 2n + j, U ∪ W
+        uniformly permuted over [2n].
+
+        ``id_swap=(a, b)`` additionally swaps the sampled IDs of
+        vertices a and b — the configuration-surgery primitive of the
+        Lemma 5/6 experiments (Figure 3).
+        """
+        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        ids: Dict = {}
+        for j, v in enumerate(self.centers, start=1):
+            ids[v] = 2 * self.n + j
+        pool = list(range(1, 2 * self.n + 1))
+        rng.shuffle(pool)
+        others = self.padding + self.pendants
+        for vertex, nid in zip(others, pool):
+            ids[vertex] = nid
+        if id_swap is not None:
+            a, b = id_swap
+            ids[a], ids[b] = ids[b], ids[a]
+        ports = PortAssignment.canonical(self.graph)
+        bw = (
+            local_model()
+            if bandwidth == "LOCAL"
+            else congest_model(self.graph.num_vertices)
+        )
+        return NetworkSetup(
+            graph=self.graph,
+            ids=ids,
+            ports=ports,
+            knowledge=Knowledge.KT1,
+            bandwidth=bw,
+        )
+
+
+def build_class_gk(k: int, q: int) -> ClassGk:
+    """Construct 𝒢ₖ from D(k, q) plus the pendant matching.
+
+    ``k`` should be odd and >= 3 for the girth >= k + 5 guarantee; even
+    k still yields girth >= k + 4 and is accepted for experiments.
+    """
+    if k < 2:
+        raise GraphError("class 𝒢ₖ requires k >= 2")
+    dkq = dkq_graph(k, q)
+    g = dkq.graph.copy()
+    centers = list(dkq.points)
+    padding = list(dkq.lines)
+    pendants = []
+    matching: Dict = {}
+    for i, v in enumerate(centers):
+        w = ("W", i)
+        g.add_vertex(w)
+        g.add_edge(v, w)
+        pendants.append(w)
+        matching[v] = w
+    return ClassGk(
+        k=k,
+        q=q,
+        n=q**k,
+        graph=g,
+        centers=centers,
+        padding=padding,
+        pendants=pendants,
+        matching=matching,
+        dkq=dkq,
+    )
+
+
+def verify_fact1(inst: ClassGk) -> Dict[str, bool]:
+    """Check the three structural claims of Fact 1 on an instance."""
+    from repro.graphs.traversal import girth as graph_girth
+
+    d = inst.center_degree
+    degrees_ok = all(
+        inst.graph.degree(v) == d for v in inst.centers
+    )
+    # Fact 1.2: core has Omega(n^{1+1/k}) edges; exactly q^{k+1} plus
+    # the n pendant edges.
+    edges_ok = inst.graph.num_edges == inst.core_edge_count() + inst.n
+    # Pendant edges cannot create cycles, so the girth of 𝒢ₖ equals the
+    # girth of D(k, q).
+    girth_ok = graph_girth(inst.graph) >= inst.dkq.guaranteed_girth
+    return {
+        "center_degree": degrees_ok,
+        "edge_count": edges_ok,
+        "girth": girth_ok,
+    }

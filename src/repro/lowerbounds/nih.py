@@ -1,0 +1,140 @@
+"""The Needles-in-Haystack (NIH) problem and the Lemma-1 reduction.
+
+NIH (Sec 2): on a pendant-matching lower-bound graph, every center v_i
+must *output* how to reach its crucial pendant w_i — the connecting
+port under KT0, or w_i's ID under KT1.  Lemma 1 turns any wake-up
+algorithm A into an NIH algorithm B at the cost of +n messages and +1
+time: each pendant, upon being woken, sends a special response message
+back over its single edge, telling the center that it succeeded (and,
+implicitly, which port/ID is the crucial one).
+
+:class:`NIHWrapper` implements exactly that reduction as an algorithm
+transformer, so every wake-up algorithm in the repository can be
+evaluated as an NIH solver on 𝒢 and 𝒢ₖ.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from repro.core.base import WakeUpAlgorithm
+from repro.models.knowledge import Knowledge, NetworkSetup
+from repro.sim.node import NodeAlgorithm, NodeContext
+
+RESPONSE = "nih-response"
+
+Vertex = Hashable
+
+
+class _PendantNode(NodeAlgorithm):
+    """Wraps the inner node at a pendant: first contact triggers the
+    special response message (Lemma 1), then behaves as the inner
+    algorithm would."""
+
+    def __init__(self, inner: NodeAlgorithm):
+        self._inner = inner
+        self._responded = False
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        self._inner.on_wake(ctx)
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        if not self._responded:
+            self._responded = True
+            ctx.send(port, (RESPONSE,))
+        self._inner.on_message(ctx, port, payload)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        self._inner.on_round(ctx)
+
+    def wants_round(self) -> bool:
+        return self._inner.wants_round()
+
+
+class _CenterNode(NodeAlgorithm):
+    """Wraps the inner node at a center: captures the response message
+    and records the NIH output (port or neighbor ID)."""
+
+    def __init__(self, inner: NodeAlgorithm, sink: Dict, vertex: Vertex, kt1: bool):
+        self._inner = inner
+        self._sink = sink
+        self._vertex = vertex
+        self._kt1 = kt1
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        self._inner.on_wake(ctx)
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        if isinstance(payload, tuple) and payload[:1] == (RESPONSE,):
+            if self._vertex not in self._sink:
+                if self._kt1:
+                    self._sink[self._vertex] = ctx.neighbor_id(port)
+                else:
+                    self._sink[self._vertex] = port
+            return  # the response is consumed by the reduction layer
+        self._inner.on_message(ctx, port, payload)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        self._inner.on_round(ctx)
+
+    def wants_round(self) -> bool:
+        return self._inner.wants_round()
+
+
+class NIHWrapper(WakeUpAlgorithm):
+    """Lemma 1: wake-up algorithm -> NIH algorithm.
+
+    ``instance`` must expose ``centers``, ``pendants`` and
+    ``matching`` (both :class:`~repro.lowerbounds.graph_g.ClassG` and
+    :class:`~repro.lowerbounds.graph_gk.ClassGk` do).  After a run,
+    :attr:`outputs` maps each center to its recorded output and
+    :meth:`correctness` scores it.
+    """
+
+    def __init__(self, inner: WakeUpAlgorithm, instance):
+        self.inner = inner
+        self.instance = instance
+        self.outputs: Dict[Vertex, int] = {}
+        self.name = f"nih({inner.name})"
+        self.synchrony = inner.synchrony
+        self.requires_kt1 = inner.requires_kt1
+        self.uses_advice = inner.uses_advice
+        self.congest_safe = inner.congest_safe
+        self._pendant_set = set(instance.pendants)
+        self._center_set = set(instance.centers)
+
+    def compute_advice(self, setup: NetworkSetup):
+        return self.inner.compute_advice(setup)
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        inner_node = self.inner.make_node(vertex, setup)
+        if vertex in self._pendant_set:
+            return _PendantNode(inner_node)
+        if vertex in self._center_set:
+            return _CenterNode(
+                inner_node,
+                self.outputs,
+                vertex,
+                kt1=setup.knowledge is Knowledge.KT1,
+            )
+        return inner_node
+
+    # ------------------------------------------------------------------
+    def correctness(self, setup: NetworkSetup) -> float:
+        """Fraction of centers whose recorded output identifies their
+        crucial pendant."""
+        if not self.instance.centers:
+            return 1.0
+        good = 0
+        for v in self.instance.centers:
+            w = self.instance.matching[v]
+            out = self.outputs.get(v)
+            if out is None:
+                continue
+            if setup.knowledge is Knowledge.KT1:
+                expected = setup.id_of(w)
+            else:
+                expected = setup.ports.port(v, w)
+            if out == expected:
+                good += 1
+        return good / len(self.instance.centers)

@@ -1,0 +1,153 @@
+"""Theorem 1 harness — the advice/message trade-off on class 𝒢.
+
+Theorem 1 (KT0 LOCAL with advice): if a scheme's expected message
+complexity on 𝒢 is at most n^2 / (2^{beta+4} log2 n), its average
+advice length is Omega(beta) bits.  A lower bound cannot be executed,
+so this harness validates it in the two ways available to a
+reproduction:
+
+1. **frontier tracing** — run the matching upper bound
+   (:class:`~repro.core.prefix_advice.PrefixAdvice`) for a sweep of
+   beta and confirm that measured messages scale as n^2 / 2^beta while
+   measured advice is beta + O(1) bits per center: every point of the
+   theorem's trade-off curve is realizable, and the product
+   messages * 2^{advice} stays ~n^2;
+
+2. **information accounting** — estimate the mutual information between
+   a center's advice string and the hidden pendant port X_i across
+   resampled port mappings, confirming the proof's core claim that
+   reducing the port-support (Lemma 3) requires the advice to actually
+   *carry* ~beta bits about X_i.
+
+It also measures the Lemma-2 quantity: the fraction of centers whose
+executions touch at most n/2^beta of their ports (event Sml_i).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.advice.bits import Bits
+from repro.core.prefix_advice import PrefixAdvice
+from repro.lowerbounds.graph_g import ClassG, build_class_g
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+@dataclass
+class TradeoffPoint:
+    """One measured point of the Theorem-1 frontier."""
+
+    n: int
+    beta: int
+    messages: float
+    advice_avg_bits: float
+    advice_max_bits: float
+    lb_message_bound: float
+    product: float  # messages * 2^beta — should be ~n^2 (constant in beta)
+
+
+def theorem1_message_bound(n: int, beta: int) -> float:
+    """The Theorem-1 threshold: n^2 / (2^{beta+4} log2 n)."""
+    return n**2 / (2 ** (beta + 4) * math.log2(max(2, n)))
+
+
+def run_prefix_tradeoff(
+    n: int,
+    betas: Sequence[int],
+    trials: int = 3,
+    seed: int = 0,
+) -> List[TradeoffPoint]:
+    """Measure the advice/message frontier on 𝒢(n) for each beta."""
+    inst = build_class_g(n)
+    points = []
+    for beta in betas:
+        msgs: List[float] = []
+        adv_avg = adv_max = 0.0
+        for t in range(trials):
+            setup = inst.make_setup(seed=seed * 1_000 + 31 * beta + t)
+            adversary = Adversary(
+                WakeSchedule.all_at_once(inst.centers), UnitDelay()
+            )
+            result = run_wakeup(
+                setup, PrefixAdvice(beta=beta), adversary, engine="async",
+                seed=seed + t,
+            )
+            msgs.append(result.messages)
+            adv_avg = result.advice_avg_bits
+            adv_max = result.advice_max_bits
+        mean_msgs = sum(msgs) / len(msgs)
+        points.append(
+            TradeoffPoint(
+                n=n,
+                beta=beta,
+                messages=mean_msgs,
+                advice_avg_bits=adv_avg,
+                advice_max_bits=adv_max,
+                lb_message_bound=theorem1_message_bound(n, beta),
+                product=mean_msgs * 2**beta,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Lemma 2 statistics: the Sml_i events
+# ----------------------------------------------------------------------
+def small_port_usage_fraction(
+    n: int, beta: int, seed: int = 0
+) -> float:
+    """Fraction of centers that touch at most n / 2^beta ports in a
+    prefix-advice execution (the event Sml_i of Sec 2.1)."""
+    inst = build_class_g(n)
+    setup = inst.make_setup(seed=seed)
+    adversary = Adversary(WakeSchedule.all_at_once(inst.centers), UnitDelay())
+    result = run_wakeup(
+        setup, PrefixAdvice(beta=beta), adversary, engine="async",
+        seed=seed, record_trace=True,
+    )
+    threshold = n / 2**beta
+    used_ports: Dict = {v: set() for v in inst.centers}
+    assert result.trace is not None
+    for msg in result.trace.sends():
+        if msg.src in used_ports:
+            used_ports[msg.src].add(msg.src_port)
+        if msg.dst in used_ports:
+            used_ports[msg.dst].add(msg.dst_port)
+    small = sum(
+        1 for v in inst.centers if len(used_ports[v]) <= threshold
+    )
+    return small / len(inst.centers)
+
+
+# ----------------------------------------------------------------------
+# Information accounting
+# ----------------------------------------------------------------------
+def advice_port_samples(
+    n: int, beta: int, samples: int, seed: int = 0,
+    center_index: int = 0,
+) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Draw (X_i, advice_i) pairs for one fixed center across freshly
+    sampled port mappings of 𝒢(n).
+
+    X_i is the hidden pendant port at center i; advice_i is the bit
+    string the PrefixAdvice oracle assigns it.  Feeding these pairs to
+    :func:`repro.analysis.information.mutual_information` estimates
+    I[X_i : Y_i], the quantity Theorem 1's proof bounds from below.
+    """
+    inst = build_class_g(n)
+    scheme = PrefixAdvice(beta=beta)
+    center = inst.centers[center_index]
+    pendant = inst.matching[center]
+    rng = random.Random(seed)
+    out = []
+    for _ in range(samples):
+        setup = inst.make_setup(seed=rng.randrange(2**60))
+        advice = scheme.compute_advice(setup)
+        x = setup.ports.port(center, pendant)
+        y = tuple(advice[center])
+        out.append((x, y))
+    return out

@@ -1,0 +1,283 @@
+"""Theorem 2 harness — time-restricted message complexity on class 𝒢ₖ.
+
+Theorem 2: any (k+1)-time KT1 LOCAL algorithm for executions with
+rho_awk = 1 sends Omega(n^{1+1/k}) messages in expectation.  The
+harness validates the bound's shape from both sides:
+
+* **matching upper bound** — :class:`OneShotProbe` (every
+  adversary-woken center broadcasts once) solves wake-up on 𝒢ₖ in a
+  single time unit with exactly n * (n^{1/k} + 1) = Theta(n^{1+1/k})
+  messages: the lower bound is tight for constant-time algorithms;
+* **necessity of the time restriction** — the unrestricted Theorem-3
+  DFS algorithm beats the bound with O(n log n) messages, at the cost
+  of Theta(n) time (the paper's remark after Theorem 3);
+* **ID-swap indistinguishability** (Lemmas 5/6, Figure 3) —
+  :func:`id_swap_transcript_check` runs a deterministic
+  transcript-flooding algorithm on two configurations that differ only
+  by swapping the IDs of a center's pendant w* and a non-neighbor-
+  visible node u, and verifies that, thanks to girth >= k + 5, the
+  center's received transcript over all *other* edges is identical for
+  the first k + 2 rounds — i.e. within the time limit, only the edge
+  {u, v*} itself can tell the center which neighbor is its needle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.base import BOTH, WakeUpAlgorithm
+from repro.lowerbounds.graph_gk import ClassGk, build_class_gk
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.node import NodeAlgorithm, NodeContext
+from repro.sim.runner import WakeUpResult, run_wakeup
+
+
+class OneShotProbe(WakeUpAlgorithm):
+    """Adversary-woken nodes broadcast once; everyone else stays quiet.
+
+    On 𝒢ₖ with all centers awake this is a correct 1-time-unit wake-up
+    algorithm (the centers dominate the graph) with message complexity
+    exactly sum of center degrees = n * (n^{1/k} + 1)."""
+
+    name = "one-shot-probe"
+    synchrony = BOTH
+    requires_kt1 = True
+    uses_advice = False
+    congest_safe = True
+
+    class _Node(NodeAlgorithm):
+        def on_wake(self, ctx: NodeContext) -> None:
+            if ctx.wake_cause == "adversary":
+                ctx.broadcast(("probe",))
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return self._Node()
+
+
+@dataclass
+class Theorem2Point:
+    k: int
+    q: int
+    n: int
+    algorithm: str
+    messages: int
+    time: float
+    lb_bound: float  # n^{1 + 1/k}
+
+
+def run_time_restricted(
+    k: int, q: int, algorithm: WakeUpAlgorithm, seed: int = 0
+) -> Theorem2Point:
+    """Run one algorithm on 𝒢ₖ with all centers awake (rho_awk = 1)."""
+    inst = build_class_gk(k, q)
+    setup = inst.make_setup(seed=seed)
+    adversary = Adversary(
+        WakeSchedule.all_at_once(inst.centers), UnitDelay()
+    )
+    result = run_wakeup(setup, algorithm, adversary, engine="async", seed=seed)
+    return Theorem2Point(
+        k=k,
+        q=q,
+        n=inst.n,
+        algorithm=algorithm.name,
+        messages=result.messages,
+        time=result.time,
+        lb_bound=inst.n ** (1 + 1 / k),
+    )
+
+
+# ----------------------------------------------------------------------
+# The Lemma 5/6 indistinguishability experiment
+# ----------------------------------------------------------------------
+class TranscriptFlooding(WakeUpAlgorithm):
+    """Deterministic full-information protocol, depth-limited.
+
+    Every adversary-woken node broadcasts a digest of its KT1 knowledge
+    (its own ID and its sorted neighbor-ID list); every node forwards
+    each *new* payload it sees to all neighbors while the payload's hop
+    count is below ``depth``.  Within r rounds, a node has received
+    exactly the depth-<= r information cone that any r-round LOCAL
+    algorithm could possibly gather — making it the canonical witness
+    for "what can v* know after k + 2 rounds"."""
+
+    name = "transcript-flooding"
+    synchrony = BOTH
+    requires_kt1 = True
+    uses_advice = False
+    congest_safe = False
+
+    def __init__(self, depth: int):
+        self.depth = depth
+
+    class _Node(NodeAlgorithm):
+        def __init__(self, depth: int):
+            self._depth = depth
+            self._seen: Set = set()
+
+        def on_wake(self, ctx: NodeContext) -> None:
+            if ctx.wake_cause != "adversary":
+                return
+            digest = (ctx.node_id, tuple(sorted(ctx.neighbor_ids())))
+            self._seen.add(digest)
+            ctx.broadcast(("tf", 1, digest))
+
+        def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+            _, hops, digest = payload
+            if digest in self._seen:
+                return
+            self._seen.add(digest)
+            # On first contact, also inject our own digest into the flood.
+            own = (ctx.node_id, tuple(sorted(ctx.neighbor_ids())))
+            if own not in self._seen:
+                self._seen.add(own)
+                if 1 <= self._depth:
+                    ctx.broadcast(("tf", 1, own))
+            if hops < self._depth:
+                ctx.broadcast(("tf", hops + 1, digest))
+
+    def make_node(self, vertex, setup) -> NodeAlgorithm:
+        return self._Node(self.depth)
+
+
+def _center_transcript(
+    result: WakeUpResult, center, exclude, horizon: float
+) -> List[Tuple[float, Any]]:
+    """Messages received by ``center`` up to ``horizon``, excluding
+    those arriving from ``exclude``, normalized for comparison."""
+    assert result.trace is not None
+    out = []
+    for ev in result.trace.events:
+        if ev.kind != "deliver":
+            continue
+        msg = ev.detail
+        if msg.dst != center or msg.src == exclude:
+            continue
+        if ev.time > horizon + 1e-9:
+            continue
+        out.append((round(ev.time, 6), msg.src, msg.payload))
+    return sorted(out, key=repr)
+
+
+@dataclass
+class SwapExperiment:
+    """Outcome of one Lemma-5/6 indistinguishability check."""
+
+    center: Any
+    swapped_u: Any
+    transcripts_match: bool
+    echoes_only: bool
+    direct_edge_differs: bool
+    horizon: float
+
+
+def _distinguishing_digests(r1: WakeUpResult, r2: WakeUpResult) -> Set[Any]:
+    """Digests that differ between the two executions.
+
+    A digest (origin_id, neighbor_ids) *distinguishes* the runs iff the
+    node with that origin ID reports a different neighborhood in the
+    other run (or exists in only one).  Digests that merely mention a
+    swapped ID inside an unchanged neighbor *set* (e.g. the center's
+    own digest) carry no distinguishing information and are exempt.
+    """
+
+    def origin_map(result: WakeUpResult) -> Dict[int, Any]:
+        out: Dict[int, Any] = {}
+        assert result.trace is not None
+        for msg in result.trace.sends():
+            digest = msg.payload[2]
+            out[digest[0]] = digest
+        return out
+
+    m1, m2 = origin_map(r1), origin_map(r2)
+    diff: Set[Any] = set()
+    for origin in set(m1) | set(m2):
+        if m1.get(origin) != m2.get(origin):
+            if origin in m1:
+                diff.add(m1[origin])
+            if origin in m2:
+                diff.add(m2[origin])
+    return diff
+
+
+def id_swap_transcript_check(
+    k: int,
+    q: int,
+    seed: int = 0,
+    center_index: int = 0,
+    u_index: int = 0,
+) -> SwapExperiment:
+    """Run TranscriptFlooding on G[rho] and on G[rho'] (IDs of w* and a
+    chosen core neighbor u swapped) and compare the center's view.
+
+    Girth >= k + 5 implies that, within k + 2 time units, no *new*
+    information about the swap can reach v* except over the direct
+    edges {u, v*} and {w*, v*} (Lemmas 5/6).  Concretely we verify:
+
+    * ``transcripts_match`` — deliveries whose content does not involve
+      the swapped IDs are identical in both executions;
+    * ``echoes_only`` — every delivery that *does* involve a swapped ID
+      and arrives over a non-direct edge is an echo: the same digest
+      already reached v* strictly earlier over a direct edge (v* spread
+      it itself; no independent path exists at this horizon).
+    """
+    inst = build_class_gk(k, q)
+    center = inst.centers[center_index]
+    w_star = inst.matching[center]
+    core_nbrs = [
+        u for u in inst.graph.neighbors(center) if u != w_star
+    ]
+    u = core_nbrs[u_index]
+    horizon = float(k + 2)
+    direct = {u, w_star}
+
+    adversary = Adversary(
+        WakeSchedule.all_at_once(inst.centers), UnitDelay()
+    )
+    base_setup = inst.make_setup(seed=seed)
+    swap_setup = inst.make_setup(seed=seed, id_swap=(u, w_star))
+
+    r1 = run_wakeup(
+        base_setup, TranscriptFlooding(depth=k + 2), adversary,
+        engine="async", seed=1, record_trace=True,
+    )
+    r2 = run_wakeup(
+        swap_setup, TranscriptFlooding(depth=k + 2), adversary,
+        engine="async", seed=1, record_trace=True,
+    )
+
+    distinguishing = _distinguishing_digests(r1, r2)
+    views = []
+    echoes_only = True
+    for result in (r1, r2):
+        full = _center_transcript(result, center, exclude=None, horizon=horizon)
+        clean = []
+        direct_digests_seen: Dict[Any, float] = {}
+        for time, src, payload in sorted(full):
+            digest = payload[2]
+            if src in direct:
+                direct_digests_seen.setdefault(digest, time)
+            if digest not in distinguishing:
+                clean.append((time, src, payload))
+            elif src not in direct:
+                first_direct = direct_digests_seen.get(digest)
+                if first_direct is None or first_direct >= time:
+                    echoes_only = False
+        views.append(sorted(clean, key=repr))
+    match = views[0] == views[1]
+
+    # Meanwhile the *direct* information (digests of u / w*) genuinely
+    # differs between the two configurations.
+    d1 = _center_transcript(r1, center, exclude=None, horizon=horizon)
+    d2 = _center_transcript(r2, center, exclude=None, horizon=horizon)
+    direct_differs = d1 != d2
+
+    return SwapExperiment(
+        center=center,
+        swapped_u=u,
+        transcripts_match=match,
+        echoes_only=echoes_only,
+        direct_edge_differs=direct_differs,
+        horizon=horizon,
+    )

@@ -1,0 +1,22 @@
+"""Computing-model layer: KT0/KT1 knowledge, LOCAL/CONGEST bandwidth,
+and port mappings."""
+
+from repro.models.congest import BandwidthModel, congest_model, local_model
+from repro.models.knowledge import (
+    Knowledge,
+    NetworkSetup,
+    assign_ids,
+    make_setup,
+)
+from repro.models.ports import PortAssignment
+
+__all__ = [
+    "BandwidthModel",
+    "congest_model",
+    "local_model",
+    "Knowledge",
+    "NetworkSetup",
+    "assign_ids",
+    "make_setup",
+    "PortAssignment",
+]

@@ -1,0 +1,62 @@
+"""Bandwidth models: LOCAL vs CONGEST.
+
+In the LOCAL model message length is unbounded and only locality
+matters; in the CONGEST model every message carries at most O(log n)
+bits (Sec 1.1).  The simulator measures every payload with
+:func:`repro.sim.messages.bit_size` and, under CONGEST, raises
+:class:`~repro.errors.ModelViolation` on any message exceeding the cap.
+This turns the paper's model distinction into an executable contract:
+the CONGEST advising schemes (Cor 1, Thm 5, Thm 6) run with enforcement
+on, and the test suite asserts that the LOCAL-only algorithms (Thm 3's
+DFS token with its full visited list, Thm 4's neighbor-list exchanges)
+actually *do* violate it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ModelViolation
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """A message-size policy.
+
+    ``cap_bits`` of ``None`` means unbounded (LOCAL).
+    """
+
+    name: str
+    cap_bits: Optional[int]
+
+    def check(self, bits: int) -> None:
+        if self.cap_bits is not None and bits > self.cap_bits:
+            raise ModelViolation(
+                f"{self.name} violation: message of {bits} bits exceeds "
+                f"cap of {self.cap_bits} bits"
+            )
+
+    @property
+    def is_congest(self) -> bool:
+        return self.cap_bits is not None
+
+
+def local_model() -> BandwidthModel:
+    """The LOCAL model: unbounded message size."""
+    return BandwidthModel(name="LOCAL", cap_bits=None)
+
+
+def congest_model(n: int, factor: int = 16) -> BandwidthModel:
+    """The CONGEST model with cap = factor * ceil(log2 n) bits.
+
+    The constant ``factor`` reflects the usual "O(log n) bits, i.e. a
+    constant number of IDs/counters per message" reading; IDs live in a
+    polynomial range so a single ID costs c * log2 n bits.  The default
+    (16) comfortably fits a tag, two IDs, and two counters.
+    """
+    if n < 2:
+        n = 2
+    cap = factor * math.ceil(math.log2(n))
+    return BandwidthModel(name="CONGEST", cap_bits=cap)

@@ -1,0 +1,90 @@
+"""Port mappings (the KT0 / port-numbering substrate).
+
+Under KT0 (Sec 1.1) a node v of degree d has ports 1..d, each leading to
+a distinct neighbor via the bijection port_v : [d] -> N(v), and v has
+*no prior knowledge* of the mapping.  The adversary chooses the mapping;
+the KT0 lower bound (Theorem 1) samples it uniformly and independently
+per node, which is exactly what :meth:`PortAssignment.random` does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Tuple
+
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph, Vertex
+
+
+class PortAssignment:
+    """An explicit port bijection for every vertex of a graph.
+
+    Ports are 1-based, matching the paper's convention
+    (``1, ..., deg(v)``).
+    """
+
+    def __init__(self, graph: Graph, order: Dict[Vertex, List[Vertex]]):
+        self._graph = graph
+        self._to_neighbor: Dict[Vertex, List[Vertex]] = {}
+        self._to_port: Dict[Vertex, Dict[Vertex, int]] = {}
+        for v in graph.vertices():
+            nbrs = order.get(v)
+            if nbrs is None:
+                raise SimulationError(f"no port order for vertex {v!r}")
+            if sorted(map(repr, nbrs)) != sorted(map(repr, graph.neighbors(v))):
+                raise SimulationError(
+                    f"port order at {v!r} is not a permutation of N(v)"
+                )
+            self._to_neighbor[v] = list(nbrs)
+            self._to_port[v] = {u: i + 1 for i, u in enumerate(nbrs)}
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def canonical(cls, graph: Graph) -> "PortAssignment":
+        """Ports in adjacency insertion order (deterministic)."""
+        return cls(graph, {v: graph.neighbors(v) for v in graph.vertices()})
+
+    @classmethod
+    def random(
+        cls, graph: Graph, seed: random.Random | int | None = None
+    ) -> "PortAssignment":
+        """Uniformly random, mutually independent port mappings — the
+        input distribution of the Theorem 1 lower bound."""
+        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        order = {}
+        for v in graph.vertices():
+            nbrs = graph.neighbors(v)
+            rng.shuffle(nbrs)
+            order[v] = nbrs
+        return cls(graph, order)
+
+    # -- queries -----------------------------------------------------------
+    def degree(self, v: Vertex) -> int:
+        """Number of ports (= degree) of v."""
+        return len(self._to_neighbor[v])
+
+    def neighbor(self, v: Vertex, port: int) -> Vertex:
+        """port_v(port): the neighbor behind the given 1-based port."""
+        nbrs = self._to_neighbor.get(v)
+        if nbrs is None:
+            raise SimulationError(f"vertex {v!r} unknown")
+        if not 1 <= port <= len(nbrs):
+            raise SimulationError(
+                f"port {port} out of range 1..{len(nbrs)} at {v!r}"
+            )
+        return nbrs[port - 1]
+
+    def port(self, v: Vertex, u: Vertex) -> int:
+        """port_v^{-1}(u): the 1-based port at v leading to neighbor u."""
+        try:
+            return self._to_port[v][u]
+        except KeyError:
+            raise SimulationError(f"{u!r} is not a neighbor of {v!r}") from None
+
+    def ports(self, v: Vertex) -> range:
+        """All 1-based ports of v."""
+        return range(1, self.degree(v) + 1)
+
+    def neighbors_in_port_order(self, v: Vertex) -> List[Vertex]:
+        """v's neighbors listed by ascending port number."""
+        return list(self._to_neighbor[v])

@@ -1,0 +1,248 @@
+"""The adversary: wake-up schedules and message-delay strategies.
+
+Per Sec 1.1 of the paper, the adversary chooses the topology, IDs, port
+mappings, the set of initially awake nodes, *when* to wake additional
+sleeping nodes, and the (finite) delay of every message.  It is
+**oblivious**: its decisions may not depend on node states or random
+bits.  We realize obliviousness structurally — every strategy here is a
+pure function of public inputs (edge identity, send index, schedule
+fixed before the run), never of algorithm state.
+
+Time is normalized so that the maximum message delay is tau = 1 (Sec
+1.2); delay strategies therefore return values in (0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph, Vertex
+
+# ----------------------------------------------------------------------
+# Wake schedules
+# ----------------------------------------------------------------------
+
+
+class WakeSchedule:
+    """Maps each adversarially-woken vertex to its wake time.
+
+    ``times()`` returns the full schedule; vertices absent from it are
+    only ever woken by receiving a message.  Times are floats for the
+    asynchronous engine and are floored to ints by the synchronous one.
+    """
+
+    def __init__(self, times: Dict[Vertex, float]):
+        if not times:
+            raise SimulationError("wake schedule must wake at least one node")
+        for v, t in times.items():
+            if t < 0:
+                raise SimulationError(f"negative wake time for {v!r}")
+        self._times = dict(times)
+
+    def times(self) -> Dict[Vertex, float]:
+        """A copy of the vertex -> wake-time map."""
+        return dict(self._times)
+
+    def initially_awake(self) -> List[Vertex]:
+        """Vertices woken at the earliest scheduled time."""
+        t0 = min(self._times.values())
+        return [v for v, t in self._times.items() if t == t0]
+
+    def all_scheduled(self) -> List[Vertex]:
+        """Every vertex the adversary will ever wake."""
+        return list(self._times)
+
+    @property
+    def first_wake_time(self) -> float:
+        return min(self._times.values())
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def all_at_once(cls, vertices: Iterable[Vertex], time: float = 0.0):
+        """Wake the given set simultaneously (the A0 of Eq. 1)."""
+        return cls({v: time for v in vertices})
+
+    @classmethod
+    def singleton(cls, vertex: Vertex, time: float = 0.0):
+        """Wake a single node — the canonical worst case for rho_awk = D."""
+        return cls({vertex: time})
+
+    @classmethod
+    def staggered(cls, waves: Sequence[Tuple[float, Iterable[Vertex]]]):
+        """Wake successive waves at given times (later waves are the
+        adversary's tool for prolonging executions; cf. proof of Thm 3)."""
+        times: Dict[Vertex, float] = {}
+        for t, group in waves:
+            for v in group:
+                if v in times:
+                    raise SimulationError(f"vertex {v!r} scheduled twice")
+                times[v] = t
+        return cls(times)
+
+    @classmethod
+    def random_subset(
+        cls,
+        graph: Graph,
+        count: int,
+        seed: random.Random | int | None = None,
+        time: float = 0.0,
+    ):
+        """Wake a uniformly random ``count``-subset at ``time``."""
+        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        verts = list(graph.vertices())
+        if not 1 <= count <= len(verts):
+            raise SimulationError("count out of range")
+        return cls.all_at_once(rng.sample(verts, count), time)
+
+    @classmethod
+    def sequential(
+        cls, vertices: Sequence[Vertex], gap: float
+    ) -> "WakeSchedule":
+        """Wake the given vertices one at a time, ``gap`` time units
+        apart, in the given order.
+
+        With the order chosen by increasing ID and a gap exceeding a
+        full traversal (> 2n), this is the strongest schedule against
+        rank-free DFS wake-up: every newly woken node displaces the
+        previous traversal (see the Theorem-3 rank ablation)."""
+        if not vertices:
+            raise SimulationError("sequential schedule needs vertices")
+        if gap < 0:
+            raise SimulationError("gap must be nonnegative")
+        return cls({v: i * gap for i, v in enumerate(vertices)})
+
+    @classmethod
+    def anti_rank_staggered(
+        cls,
+        graph: Graph,
+        waves: int,
+        gap: float,
+        seed: random.Random | int | None = None,
+    ):
+        """The adversarial pattern from the Theorem-3 analysis: wake
+        disjoint groups of geometrically growing size at intervals of
+        ``gap`` time units, attempting to repeatedly displace the
+        current maximum-rank DFS token."""
+        rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        verts = list(graph.vertices())
+        rng.shuffle(verts)
+        times: Dict[Vertex, float] = {}
+        idx = 0
+        size = 1
+        for w in range(waves):
+            group = verts[idx: idx + size]
+            if not group:
+                break
+            for v in group:
+                times[v] = w * gap
+            idx += size
+            size *= 2
+        if not times:
+            raise SimulationError("graph too small for requested schedule")
+        return cls(times)
+
+
+# ----------------------------------------------------------------------
+# Delay strategies (asynchronous engine only)
+# ----------------------------------------------------------------------
+
+
+class DelayStrategy:
+    """Assigns a delay in (0, 1] to each message send.
+
+    ``delay(src, dst, sent_at, seq)`` must be a pure function of its
+    arguments (plus construction-time randomness), which enforces the
+    oblivious-adversary requirement.
+    """
+
+    def delay(self, src: Vertex, dst: Vertex, sent_at: float, seq: int) -> float:
+        """Delay in (0, 1] for the ``seq``-th send, over edge src->dst."""
+        raise NotImplementedError
+
+
+class UnitDelay(DelayStrategy):
+    """Every message takes exactly tau = 1: async executions then mirror
+    synchronous ones, which makes analytical comparisons easy."""
+
+    def delay(self, src, dst, sent_at, seq):
+        return 1.0
+
+
+class UniformRandomDelay(DelayStrategy):
+    """I.i.d. uniform delays in [lo, 1], fixed by a construction seed.
+
+    Delays are drawn from a deterministic per-(edge, seq) hash so that
+    replaying the same execution yields identical delays regardless of
+    event processing order.
+    """
+
+    def __init__(self, seed: int = 0, lo: float = 0.05):
+        if not 0 < lo <= 1:
+            raise SimulationError("lo must be in (0, 1]")
+        self._seed = seed
+        self._lo = lo
+
+    def delay(self, src, dst, sent_at, seq):
+        h = hash((self._seed, repr(src), repr(dst), seq))
+        u = ((h % 2**32) + 0.5) / 2**32
+        return self._lo + (1.0 - self._lo) * u
+
+
+class PerEdgeDelay(DelayStrategy):
+    """A fixed deterministic delay per directed edge, hashed from a seed.
+
+    Models heterogeneous but stable link latencies; the adversary fixes
+    them before the execution (oblivious by construction).
+    """
+
+    def __init__(self, seed: int = 0, lo: float = 0.1):
+        if not 0 < lo <= 1:
+            raise SimulationError("lo must be in (0, 1]")
+        self._seed = seed
+        self._lo = lo
+        self._cache: Dict[Tuple[str, str], float] = {}
+
+    def delay(self, src, dst, sent_at, seq):
+        key = (repr(src), repr(dst))
+        if key not in self._cache:
+            h = hash((self._seed,) + key)
+            u = ((h % 2**32) + 0.5) / 2**32
+            self._cache[key] = self._lo + (1.0 - self._lo) * u
+        return self._cache[key]
+
+
+class SlowEdgeDelay(DelayStrategy):
+    """Maximally delays a chosen set of directed edges (delay 1.0) while
+    all other messages travel fast (delay ``fast``).
+
+    This is the classic adversarial pattern for separating time-optimal
+    from message-optimal algorithms in asynchronous networks.
+    """
+
+    def __init__(self, slow_edges: Iterable[Tuple[Vertex, Vertex]], fast: float = 0.05):
+        if not 0 < fast <= 1:
+            raise SimulationError("fast must be in (0, 1]")
+        self._slow = {(repr(a), repr(b)) for a, b in slow_edges}
+        self._fast = fast
+
+    def delay(self, src, dst, sent_at, seq):
+        if (repr(src), repr(dst)) in self._slow:
+            return 1.0
+        return self._fast
+
+
+@dataclass
+class Adversary:
+    """Bundle of the adversary's run-time powers: when nodes wake and how
+    long messages take.  Topology/ID/port choices are made when building
+    the :class:`~repro.models.knowledge.NetworkSetup`."""
+
+    schedule: WakeSchedule
+    delays: DelayStrategy = field(default_factory=UnitDelay)

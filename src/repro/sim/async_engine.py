@@ -1,0 +1,180 @@
+"""Asynchronous discrete-event engine.
+
+Implements the paper's asynchronous model (Sec 1.1–1.2):
+
+* every message suffers an unpredictable but finite delay, chosen by an
+  oblivious adversary (a :class:`~repro.sim.adversary.DelayStrategy`);
+  delays are normalized so the maximum is tau = 1 time unit;
+* channels are error-free and FIFO — the engine enforces per-directed-
+  edge delivery ordering even when the adversary's raw delays would
+  reorder messages;
+* local computation is instantaneous and free;
+* a sleeping node is woken by the arrival of any message and processes
+  that message immediately upon awakening; adversary wake-ups happen at
+  schedule times; waking is permanent.
+
+The event loop is deterministic: ties in delivery time break by global
+send sequence number, and adversary wake-ups at equal times break by
+schedule insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.models.knowledge import NetworkSetup
+from repro.sim.adversary import Adversary
+from repro.sim.messages import Message, Send, bit_size
+from repro.sim.metrics import Metrics
+from repro.sim.node import NodeAlgorithm, NodeContext
+from repro.sim.trace import Trace
+
+Vertex = Hashable
+
+_WAKE = 0
+_DELIVER = 1
+
+# FIFO enforcement pushes a delivery this far past the previous one on
+# the same directed channel; small enough to never matter for the
+# tau-normalized time accounting.
+_FIFO_EPS = 1e-9
+
+
+class AsyncEngine:
+    """Runs one asynchronous execution of a wake-up algorithm."""
+
+    def __init__(
+        self,
+        setup: NetworkSetup,
+        nodes: Dict[Vertex, NodeAlgorithm],
+        adversary: Adversary,
+        seed: int = 0,
+        max_events: int = 5_000_000,
+        trace: Optional[Trace] = None,
+    ):
+        self.setup = setup
+        self.nodes = nodes
+        self.adversary = adversary
+        self.metrics = Metrics()
+        self.trace = trace
+        self._max_events = max_events
+        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._fifo_last: Dict[Tuple[Vertex, Vertex], float] = {}
+        self._now = 0.0
+
+        master = random.Random(seed)
+        self._ctx: Dict[Vertex, NodeContext] = {}
+        for v in setup.graph.vertices():
+            node_rng = random.Random(
+                (seed * 1_000_003 + setup.id_of(v)) % 2**63
+            )
+            self._ctx[v] = NodeContext(v, setup, node_rng)
+        missing = set(setup.graph.vertices()) - set(nodes)
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} vertices have no algorithm instance"
+            )
+
+        for v, t in adversary.schedule.times().items():
+            if not setup.graph.has_vertex(v):
+                raise SimulationError(f"schedule wakes unknown vertex {v!r}")
+            heapq.heappush(self._heap, (t, next(self._seq), _WAKE, v))
+
+    # ------------------------------------------------------------------
+    def run(self) -> Metrics:
+        """Process events until quiescence; returns the metrics."""
+        processed = 0
+        while self._heap:
+            time, _tie, kind, data = heapq.heappop(self._heap)
+            if time < self._now - 1e-12:
+                raise SimulationError("event scheduled in the past")
+            self._now = max(self._now, time)
+            processed += 1
+            if processed > self._max_events:
+                raise SimulationError(
+                    f"event budget of {self._max_events} exceeded; "
+                    "the protocol is likely not terminating"
+                )
+            if kind == _WAKE:
+                self._handle_wake(data, time, cause="adversary")
+            else:
+                self._handle_delivery(data, time)
+        self.metrics.events_processed = processed
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def _handle_wake(self, v: Vertex, time: float, cause: str) -> None:
+        ctx = self._ctx[v]
+        if ctx._awake:
+            return
+        ctx._awake = True
+        ctx.wake_cause = cause
+        self.metrics.record_wake(v, time, cause)
+        if self.trace is not None:
+            self.trace.wake(time, v, cause)
+        self.nodes[v].on_wake(ctx)
+        self._flush(v, time)
+
+    def _handle_delivery(self, msg: Message, time: float) -> None:
+        v = msg.dst
+        ctx = self._ctx[v]
+        self.metrics.record_receive(v, time)
+        if self.trace is not None:
+            self.trace.deliver(time, msg)
+        if not ctx._awake:
+            # Receipt of a message wakes a sleeping node; the message is
+            # then processed immediately (Sec 1.1).
+            ctx._awake = True
+            ctx.wake_cause = "message"
+            self.metrics.record_wake(v, time, "message")
+            if self.trace is not None:
+                self.trace.wake(time, v, "message")
+            self.nodes[v].on_wake(ctx)
+        self.nodes[v].on_message(ctx, msg.dst_port, msg.payload)
+        self._flush(v, time)
+
+    def _flush(self, v: Vertex, time: float) -> None:
+        """Turn queued sends into scheduled deliveries."""
+        ctx = self._ctx[v]
+        for send in ctx._drain():
+            dst = self.setup.ports.neighbor(v, send.port)
+            dst_port = self.setup.ports.port(dst, v)
+            bits = bit_size(send.payload)
+            self.setup.bandwidth.check(bits)
+            seq = next(self._seq)
+            drops = getattr(self.adversary, "drops", None)
+            if drops is not None and drops.drops(v, dst, seq):
+                # Fault injection (repro.sim.faults): the message is
+                # charged to the sender but never delivered.
+                self.metrics.record_send(v, dst, bits)
+                continue
+            delay = self.adversary.delays.delay(v, dst, time, seq)
+            if not 0.0 < delay <= 1.0:
+                raise SimulationError(
+                    f"adversary produced delay {delay} outside (0, 1]"
+                )
+            deliver_at = time + delay
+            chan = (v, dst)
+            prev = self._fifo_last.get(chan)
+            if prev is not None and deliver_at <= prev:
+                deliver_at = prev + _FIFO_EPS
+            self._fifo_last[chan] = deliver_at
+            msg = Message(
+                src=v,
+                dst=dst,
+                dst_port=dst_port,
+                src_port=send.port,
+                payload=send.payload,
+                bits=bits,
+                sent_at=time,
+                seq=seq,
+            )
+            self.metrics.record_send(v, dst, bits)
+            if self.trace is not None:
+                self.trace.send(time, msg)
+            heapq.heappush(self._heap, (deliver_at, seq, _DELIVER, msg))

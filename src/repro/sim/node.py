@@ -1,0 +1,170 @@
+"""The per-node algorithm API.
+
+Algorithms are written as subclasses of :class:`NodeAlgorithm` — one
+instance per node — receiving callbacks from an engine:
+
+* ``on_wake(ctx)`` — exactly once, when the node becomes awake (either
+  because the adversary woke it, or because the first message arrived;
+  in the latter case ``on_wake`` runs immediately before the
+  corresponding ``on_message``).  Waking is permanent (Sec 1.1).
+* ``on_message(ctx, port, payload)`` — on every delivery, with the
+  1-based arrival port.
+* ``on_round(ctx)`` — synchronous engine only: once per lock-step round
+  while :meth:`NodeAlgorithm.wants_round` is true.  Nodes have no global
+  clock — ``ctx.local_round`` counts rounds *since this node woke*
+  (Thm 4, footnote 4).
+
+The :class:`NodeContext` enforces the knowledge model: neighbor-ID
+queries raise :class:`~repro.errors.ModelViolation` under KT0, so a KT0
+algorithm cannot accidentally cheat.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Hashable, List, Optional, Tuple
+
+from repro.errors import ModelViolation, SimulationError
+from repro.models.knowledge import Knowledge, NetworkSetup
+from repro.sim.messages import Send, bit_size
+
+Vertex = Hashable
+
+
+class NodeContext:
+    """A node's window onto the network, scoped by the knowledge model."""
+
+    __slots__ = (
+        "vertex",
+        "_setup",
+        "_outbox",
+        "rng",
+        "local_round",
+        "_awake",
+        "wake_cause",
+    )
+
+    def __init__(self, vertex: Vertex, setup: NetworkSetup, rng: random.Random):
+        self.vertex = vertex
+        self._setup = setup
+        self._outbox: List[Send] = []
+        self.rng = rng
+        self.local_round = 0
+        self._awake = False
+        #: "adversary" or "message" — set by the engine immediately before
+        #: ``on_wake`` (Sec 3.2: adversary-woken nodes mark themselves
+        #: active; message-woken status depends on the message).
+        self.wake_cause: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Identity and local knowledge (always available)
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._setup.id_of(self.vertex)
+
+    @property
+    def degree(self) -> int:
+        return self._setup.ports.degree(self.vertex)
+
+    @property
+    def ports(self) -> range:
+        """All 1-based ports of this node."""
+        return self._setup.ports.ports(self.vertex)
+
+    @property
+    def log2_n_bound(self) -> int:
+        """The known constant-factor upper bound on log2 n (Sec 1.1)."""
+        return self._setup.log2_n_bound
+
+    @property
+    def advice(self) -> Any:
+        """This node's oracle advice, or None if the scheme has none."""
+        if self._setup.advice is None:
+            return None
+        return self._setup.advice.get(self.vertex)
+
+    @property
+    def awake(self) -> bool:
+        return self._awake
+
+    # ------------------------------------------------------------------
+    # KT1-only knowledge
+    # ------------------------------------------------------------------
+    def _require_kt1(self) -> None:
+        if self._setup.knowledge is not Knowledge.KT1:
+            raise ModelViolation(
+                "neighbor IDs are only available under the KT1 assumption"
+            )
+
+    def neighbor_id(self, port: int) -> int:
+        """ID of the neighbor behind ``port`` (KT1 only)."""
+        self._require_kt1()
+        u = self._setup.ports.neighbor(self.vertex, port)
+        return self._setup.id_of(u)
+
+    def neighbor_ids(self) -> List[int]:
+        """IDs of all neighbors, in port order (KT1 only)."""
+        self._require_kt1()
+        return self._setup.neighbor_ids(self.vertex)
+
+    def port_of(self, neighbor_id: int) -> int:
+        """Port leading to the neighbor with the given ID (KT1 only)."""
+        self._require_kt1()
+        u = self._setup.vertex_of(neighbor_id)
+        return self._setup.ports.port(self.vertex, u)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def send(self, port: int, payload: Any) -> None:
+        """Queue a message over a port; size-checked against the
+        bandwidth model at flush time."""
+        if not 1 <= port <= self.degree:
+            raise SimulationError(
+                f"node {self.vertex!r}: port {port} out of range "
+                f"1..{self.degree}"
+            )
+        self._outbox.append(Send(port=port, payload=payload))
+
+    def send_to(self, neighbor_id: int, payload: Any) -> None:
+        """Send addressed by neighbor ID (KT1 convenience)."""
+        self.send(self.port_of(neighbor_id), payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send the same payload over every port."""
+        for p in self.ports:
+            self.send(p, payload)
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    def _drain(self) -> List[Send]:
+        out, self._outbox = self._outbox, []
+        return out
+
+
+class NodeAlgorithm:
+    """Base class for per-node protocol logic.
+
+    Subclasses keep their state as instance attributes; the engine
+    guarantees callbacks never run concurrently for the same node.
+    """
+
+    def on_wake(self, ctx: NodeContext) -> None:
+        """Called exactly once when the node becomes awake."""
+
+    def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
+        """Called for every delivered message."""
+
+    def on_round(self, ctx: NodeContext) -> None:
+        """Synchronous engine only: a lock-step computing step."""
+
+    def wants_round(self) -> bool:
+        """Whether the sync engine should keep calling :meth:`on_round`.
+
+        Defaults to False: purely message-driven algorithms never need
+        idle round callbacks, and returning False lets executions
+        terminate as soon as no messages are in flight.
+        """
+        return False

@@ -1,0 +1,165 @@
+"""High-level execution driver.
+
+``run_wakeup`` wires together a network setup, a wake-up algorithm, and
+an adversary; runs the oracle (for advising schemes) and the requested
+engine; and returns a :class:`WakeUpResult` carrying every Table-1
+quantity for the execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.errors import SimulationError, WakeUpFailure
+from repro.models.knowledge import NetworkSetup
+from repro.sim.adversary import Adversary
+from repro.sim.async_engine import AsyncEngine
+from repro.sim.metrics import Metrics
+from repro.sim.sync_engine import SyncEngine
+from repro.sim.trace import Trace
+
+Vertex = Hashable
+
+
+@dataclass
+class WakeUpResult:
+    """Outcome of one execution.
+
+    Attributes mirror the paper's complexity measures:
+
+    * ``messages`` / ``bits`` — message complexity and total bits;
+    * ``time`` — async time (tau-normalized) or sync round count
+      between first wake and last activity;
+    * ``advice_max_bits`` / ``advice_avg_bits`` — the advising scheme's
+      cost on this input (0 for advice-free algorithms);
+    * ``all_awake`` — whether the wake-up problem was solved;
+    * ``wake_time`` — per-vertex wake times.
+    """
+
+    algorithm: str
+    engine: str
+    n: int
+    messages: int
+    bits: int
+    max_message_bits: int
+    time: float
+    time_all_awake: float
+    all_awake: bool
+    asleep: frozenset
+    wake_time: Dict[Vertex, float]
+    advice_max_bits: int
+    advice_avg_bits: float
+    advice_total_bits: int
+    metrics: Metrics
+    trace: Optional[Trace] = None
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric view for bench tables and JSON storage."""
+        return {
+            "n": float(self.n),
+            "messages": float(self.messages),
+            "bits": float(self.bits),
+            "time": float(self.time),
+            "advice_max_bits": float(self.advice_max_bits),
+            "advice_avg_bits": float(self.advice_avg_bits),
+        }
+
+
+def run_wakeup(
+    setup: NetworkSetup,
+    algorithm,
+    adversary: Adversary,
+    engine: str = "async",
+    seed: int = 0,
+    require_all_awake: bool = True,
+    max_events: int = 5_000_000,
+    max_rounds: int = 1_000_000,
+    record_trace: bool = False,
+) -> WakeUpResult:
+    """Execute one wake-up run end to end.
+
+    Parameters
+    ----------
+    setup:
+        The static network (may already carry advice; if the algorithm
+        declares ``uses_advice`` and the setup has none, the oracle is
+        invoked here).
+    algorithm:
+        A :class:`~repro.core.base.WakeUpAlgorithm`.
+    adversary:
+        Wake schedule plus (async) delay strategy.
+    engine:
+        "async" or "sync".
+    require_all_awake:
+        If True (default) a run that leaves nodes asleep raises
+        :class:`~repro.errors.WakeUpFailure`; benches measuring failure
+        probability set this to False.
+    """
+    if engine not in ("async", "sync"):
+        raise SimulationError(f"unknown engine {engine!r}")
+    algorithm.validate_setup(setup, engine)
+
+    advice_max = advice_avg = advice_total = 0
+    if algorithm.uses_advice:
+        if setup.advice is None:
+            advice_map = algorithm.compute_advice(setup)
+            if advice_map is None:
+                raise SimulationError(
+                    f"{algorithm.name} declares uses_advice but its "
+                    "oracle returned None"
+                )
+            setup = setup.with_advice(dict(advice_map.items()))
+            advice_max = advice_map.max_bits
+            advice_avg = advice_map.average_bits
+            advice_total = advice_map.total_bits
+        else:
+            lengths = [len(b) for b in setup.advice.values()]
+            advice_max = max(lengths, default=0)
+            advice_total = sum(lengths)
+            advice_avg = advice_total / len(lengths) if lengths else 0.0
+
+    nodes = algorithm.build_nodes(setup)
+    trace = Trace() if record_trace else None
+
+    if engine == "async":
+        eng = AsyncEngine(
+            setup, nodes, adversary, seed=seed, max_events=max_events,
+            trace=trace,
+        )
+        metrics = eng.run()
+        time_complexity = metrics.time_complexity
+        time_all_awake = metrics.time_all_awake
+    else:
+        eng = SyncEngine(
+            setup, nodes, adversary, seed=seed, max_rounds=max_rounds,
+            trace=trace,
+        )
+        metrics = eng.run()
+        time_complexity = float(eng.round_complexity)
+        time_all_awake = metrics.time_all_awake
+
+    asleep = frozenset(
+        v for v in setup.graph.vertices() if v not in metrics.wake_time
+    )
+    if asleep and require_all_awake:
+        raise WakeUpFailure(asleep)
+
+    return WakeUpResult(
+        algorithm=algorithm.name,
+        engine=engine,
+        n=setup.n,
+        messages=metrics.messages_total,
+        bits=metrics.bits_total,
+        max_message_bits=metrics.max_message_bits,
+        time=time_complexity,
+        time_all_awake=time_all_awake,
+        all_awake=not asleep,
+        asleep=asleep,
+        wake_time=dict(metrics.wake_time),
+        advice_max_bits=advice_max,
+        advice_avg_bits=advice_avg,
+        advice_total_bits=advice_total,
+        metrics=metrics,
+        trace=trace,
+    )

@@ -1,0 +1,180 @@
+"""Synchronous lock-step engine.
+
+Implements the synchronous model of Sec 3.2: computation proceeds in
+rounds; every message sent in round r is delivered by the start of
+round r + 1.  Nodes have **no global clock** — a node only observes its
+own local round counter, which starts when it wakes (footnote 4 of the
+paper).  The adversary wakes scheduled nodes at integer round numbers.
+
+Round structure (round r):
+
+1. deliver every message sent in round r - 1, waking sleeping
+   recipients (``on_wake`` then ``on_message``);
+2. apply adversary wake-ups scheduled for round r;
+3. give every awake node whose :meth:`wants_round` is true a
+   computation step (``on_round``), with ``ctx.local_round`` set to the
+   number of rounds since it woke (0 in its wake round).
+
+Sends emitted anywhere within round r are delivered in step 1 of round
+r + 1.  The execution ends when no messages are in flight, no future
+wake-ups remain, and no node wants further rounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.models.knowledge import NetworkSetup
+from repro.sim.adversary import Adversary
+from repro.sim.messages import Message, bit_size
+from repro.sim.metrics import Metrics
+from repro.sim.node import NodeAlgorithm, NodeContext
+from repro.sim.trace import Trace
+
+Vertex = Hashable
+
+
+class SyncEngine:
+    """Runs one synchronous execution of a wake-up algorithm."""
+
+    def __init__(
+        self,
+        setup: NetworkSetup,
+        nodes: Dict[Vertex, NodeAlgorithm],
+        adversary: Adversary,
+        seed: int = 0,
+        max_rounds: int = 1_000_000,
+        trace: Optional[Trace] = None,
+    ):
+        self.setup = setup
+        self.nodes = nodes
+        self.adversary = adversary
+        self.metrics = Metrics()
+        self.trace = trace
+        self._max_rounds = max_rounds
+        self._seq = itertools.count()
+        self.rounds_executed = 0
+
+        master_seed = seed
+        self._ctx: Dict[Vertex, NodeContext] = {}
+        self._wake_round: Dict[Vertex, int] = {}
+        # Deterministic processing order for nodes within a round.
+        self._order: List[Vertex] = sorted(
+            setup.graph.vertices(), key=lambda v: setup.id_of(v)
+        )
+        for v in setup.graph.vertices():
+            node_rng = random.Random(
+                (master_seed * 1_000_003 + setup.id_of(v)) % 2**63
+            )
+            self._ctx[v] = NodeContext(v, setup, node_rng)
+        missing = set(setup.graph.vertices()) - set(nodes)
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} vertices have no algorithm instance"
+            )
+        # Wake times floored to integer rounds.
+        self._schedule: Dict[int, List[Vertex]] = {}
+        for v, t in adversary.schedule.times().items():
+            if not setup.graph.has_vertex(v):
+                raise SimulationError(f"schedule wakes unknown vertex {v!r}")
+            self._schedule.setdefault(int(t), []).append(v)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Metrics:
+        """Execute rounds until quiescence; returns the metrics."""
+        in_flight: List[Message] = []
+        r = 0
+        last_wake_round = max(self._schedule) if self._schedule else 0
+        while True:
+            if r > self._max_rounds:
+                raise SimulationError(
+                    f"round budget of {self._max_rounds} exceeded; "
+                    "the protocol is likely not terminating"
+                )
+            # 1. deliver last round's messages ---------------------------
+            for msg in in_flight:
+                self._deliver(msg, r)
+            in_flight = []
+
+            # 2. adversary wake-ups --------------------------------------
+            for v in self._schedule.get(r, ()):
+                self._wake(v, r, "adversary")
+
+            # 3. computation steps ---------------------------------------
+            for v in self._order:
+                ctx = self._ctx[v]
+                if ctx._awake and self.nodes[v].wants_round():
+                    ctx.local_round = r - self._wake_round[v]
+                    self.nodes[v].on_round(ctx)
+
+            # collect sends emitted during this round --------------------
+            for v in self._order:
+                for send in self._ctx[v]._drain():
+                    in_flight.append(self._make_message(v, send, r))
+
+            self.rounds_executed = r + 1
+            self.metrics.events_processed += 1
+            r += 1
+            anyone_active = any(
+                self._ctx[v]._awake and self.nodes[v].wants_round()
+                for v in self._order
+            )
+            if not in_flight and r > last_wake_round and not anyone_active:
+                break
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    @property
+    def round_complexity(self) -> int:
+        """Rounds elapsed between the first wake-up and the last activity."""
+        if self.metrics.first_wake is None:
+            return 0
+        return int(self.metrics.last_activity - self.metrics.first_wake)
+
+    # ------------------------------------------------------------------
+    def _wake(self, v: Vertex, r: int, cause: str) -> None:
+        ctx = self._ctx[v]
+        if ctx._awake:
+            return
+        ctx._awake = True
+        ctx.wake_cause = cause
+        self._wake_round[v] = r
+        ctx.local_round = 0
+        self.metrics.record_wake(v, float(r), cause)
+        if self.trace is not None:
+            self.trace.wake(float(r), v, cause)
+        self.nodes[v].on_wake(ctx)
+
+    def _deliver(self, msg: Message, r: int) -> None:
+        v = msg.dst
+        ctx = self._ctx[v]
+        self.metrics.record_receive(v, float(r))
+        if self.trace is not None:
+            self.trace.deliver(float(r), msg)
+        if not ctx._awake:
+            self._wake(v, r, "message")
+        ctx.local_round = r - self._wake_round[v]
+        self.nodes[v].on_message(ctx, msg.dst_port, msg.payload)
+
+    def _make_message(self, v: Vertex, send, r: int) -> Message:
+        dst = self.setup.ports.neighbor(v, send.port)
+        dst_port = self.setup.ports.port(dst, v)
+        bits = bit_size(send.payload)
+        self.setup.bandwidth.check(bits)
+        msg = Message(
+            src=v,
+            dst=dst,
+            dst_port=dst_port,
+            src_port=send.port,
+            payload=send.payload,
+            bits=bits,
+            sent_at=float(r),
+            seq=next(self._seq),
+        )
+        self.metrics.record_send(v, dst, bits)
+        if self.trace is not None:
+            self.trace.send(float(r), msg)
+        return msg

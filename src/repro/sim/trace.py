@@ -1,0 +1,85 @@
+"""Execution traces for debugging, visualization, and the lower-bound
+indistinguishability checks.
+
+A :class:`Trace` records every wake, send, and delivery in order.  The
+Theorem-2 harness (:mod:`repro.lowerbounds.theorem2`) compares traces of
+executions on ID-swapped configurations to test the Lemma 5/6 argument;
+tests use traces to assert fine-grained protocol behaviour (e.g. "each
+DFS token traverses each tree edge at most twice", Claim 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Optional, Tuple
+
+from repro.sim.messages import Message
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is "wake", "send", or "deliver".  For wakes, ``detail``
+    is the cause ("adversary" or "message"); for sends/deliveries it is
+    the :class:`~repro.sim.messages.Message`.
+    """
+
+    time: float
+    kind: str
+    vertex: Vertex
+    detail: Any
+
+
+class Trace:
+    """Ordered event log of a single execution."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    # -- recording hooks (called by engines) -----------------------------
+    def wake(self, time: float, vertex: Vertex, cause: str) -> None:
+        """Record a wake event ("adversary" or "message")."""
+        self.events.append(TraceEvent(time, "wake", vertex, cause))
+
+    def send(self, time: float, msg: Message) -> None:
+        """Record a message send."""
+        self.events.append(TraceEvent(time, "send", msg.src, msg))
+
+    def deliver(self, time: float, msg: Message) -> None:
+        """Record a message delivery."""
+        self.events.append(TraceEvent(time, "deliver", msg.dst, msg))
+
+    # -- queries -----------------------------------------------------------
+    def sends(self) -> List[Message]:
+        """All sent messages, in send order."""
+        return [e.detail for e in self.events if e.kind == "send"]
+
+    def deliveries(self) -> List[Message]:
+        """All delivered messages, in delivery order."""
+        return [e.detail for e in self.events if e.kind == "deliver"]
+
+    def wakes(self) -> List[Tuple[float, Vertex, str]]:
+        """All wake events as (time, vertex, cause) tuples."""
+        return [
+            (e.time, e.vertex, e.detail)
+            for e in self.events
+            if e.kind == "wake"
+        ]
+
+    def edges_used(self) -> set:
+        """Set of directed edges over which at least one message was sent."""
+        return {(m.src, m.dst) for m in self.sends()}
+
+    def messages_between(self, u: Vertex, v: Vertex) -> int:
+        """Messages sent over the undirected edge {u, v} (both directions)."""
+        return sum(
+            1
+            for m in self.sends()
+            if (m.src, m.dst) in ((u, v), (v, u))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)

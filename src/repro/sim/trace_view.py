@@ -1,0 +1,117 @@
+"""Human-readable rendering of execution traces.
+
+Turns a :class:`~repro.sim.trace.Trace` into a timeline or per-node
+lanes — useful when debugging a protocol or when an example wants to
+*show* an execution rather than just its totals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional
+
+from repro.sim.trace import Trace, TraceEvent
+
+Vertex = Hashable
+
+
+def _default_fmt(v: Vertex) -> str:
+    return repr(v)
+
+
+def render_timeline(
+    trace: Trace,
+    limit: int = 100,
+    vertex_fmt: Optional[Callable[[Vertex], str]] = None,
+    kinds: Optional[set] = None,
+) -> str:
+    """Render the first ``limit`` events as a one-line-per-event log.
+
+    ``kinds`` filters to a subset of {"wake", "send", "deliver"}.
+    """
+    fmt = vertex_fmt or _default_fmt
+    lines: List[str] = []
+    shown = 0
+    for ev in trace.events:
+        if kinds is not None and ev.kind not in kinds:
+            continue
+        if shown >= limit:
+            lines.append(f"... ({len(trace.events)} events total)")
+            break
+        lines.append(_render_event(ev, fmt))
+        shown += 1
+    return "\n".join(lines)
+
+
+def _render_event(ev: TraceEvent, fmt) -> str:
+    t = f"t={ev.time:9.3f}"
+    if ev.kind == "wake":
+        return f"{t}  WAKE    {fmt(ev.vertex)} ({ev.detail})"
+    msg = ev.detail
+    arrow = "->" if ev.kind == "send" else "=>"
+    tag = msg.payload[0] if isinstance(msg.payload, tuple) and msg.payload else msg.payload
+    if ev.kind == "send":
+        return (
+            f"{t}  SEND    {fmt(msg.src)} {arrow} {fmt(msg.dst)} "
+            f"[{tag}] ({msg.bits}b)"
+        )
+    return (
+        f"{t}  DELIVER {fmt(msg.src)} {arrow} {fmt(msg.dst)} "
+        f"[{tag}] port {msg.dst_port}"
+    )
+
+
+def render_wake_wave(
+    trace: Trace,
+    vertex_fmt: Optional[Callable[[Vertex], str]] = None,
+    bucket: float = 1.0,
+) -> str:
+    """Render the wake-up wave: which nodes woke in each time bucket.
+
+    Shows the spatial progress of an execution at a glance, e.g.::
+
+        [t 0.0-1.0)  adversary: 0
+        [t 1.0-2.0)  message: 1, 5, 7
+    """
+    fmt = vertex_fmt or _default_fmt
+    wakes = trace.wakes()
+    if not wakes:
+        return "(no wake events)"
+    t0 = min(t for t, _v, _c in wakes)
+    buckets: dict = {}
+    for t, v, cause in wakes:
+        idx = int((t - t0) / bucket)
+        buckets.setdefault(idx, []).append((v, cause))
+    lines = []
+    for idx in sorted(buckets):
+        lo = t0 + idx * bucket
+        entries = buckets[idx]
+        by_cause: dict = {}
+        for v, cause in entries:
+            by_cause.setdefault(cause, []).append(fmt(v))
+        parts = [
+            f"{cause}: {', '.join(sorted(vs))}"
+            for cause, vs in sorted(by_cause.items())
+        ]
+        lines.append(
+            f"[t {lo:.1f}-{lo + bucket:.1f})  " + " | ".join(parts)
+        )
+    return "\n".join(lines)
+
+
+def message_matrix(trace: Trace, vertices: List[Vertex]) -> str:
+    """A small vertices x vertices matrix of message counts (debugging
+    aid for small graphs; entries capped at 99 for alignment)."""
+    counts: dict = {}
+    for msg in trace.sends():
+        counts[(msg.src, msg.dst)] = counts.get((msg.src, msg.dst), 0) + 1
+    labels = [repr(v)[:6] for v in vertices]
+    width = max((len(x) for x in labels), default=1) + 1
+    header = " " * width + "".join(lbl.rjust(width) for lbl in labels)
+    lines = [header]
+    for v, lbl in zip(vertices, labels):
+        row = [lbl.rjust(width)]
+        for u in vertices:
+            c = min(99, counts.get((v, u), 0))
+            row.append((str(c) if c else ".").rjust(width))
+        lines.append("".join(row))
+    return "\n".join(lines)

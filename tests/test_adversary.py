@@ -1,0 +1,132 @@
+"""Tests for wake schedules and delay strategies."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs.generators import path_graph
+from repro.sim.adversary import (
+    Adversary,
+    PerEdgeDelay,
+    SlowEdgeDelay,
+    UniformRandomDelay,
+    UnitDelay,
+    WakeSchedule,
+)
+
+
+class TestWakeSchedule:
+    def test_all_at_once(self):
+        s = WakeSchedule.all_at_once([1, 2, 3], time=2.0)
+        assert s.times() == {1: 2.0, 2: 2.0, 3: 2.0}
+        assert sorted(s.initially_awake()) == [1, 2, 3]
+        assert s.first_wake_time == 2.0
+        assert len(s) == 3
+
+    def test_singleton(self):
+        s = WakeSchedule.singleton(7)
+        assert s.times() == {7: 0.0}
+
+    def test_staggered(self):
+        s = WakeSchedule.staggered([(0.0, [1]), (5.0, [2, 3])])
+        assert s.times()[3] == 5.0
+        assert s.initially_awake() == [1]
+
+    def test_staggered_duplicate_rejected(self):
+        with pytest.raises(SimulationError):
+            WakeSchedule.staggered([(0.0, [1]), (1.0, [1])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            WakeSchedule({})
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            WakeSchedule({1: -1.0})
+
+    def test_random_subset(self):
+        g = path_graph(20)
+        s = WakeSchedule.random_subset(g, 5, seed=1)
+        assert len(s) == 5
+        assert all(v in g for v in s.all_scheduled())
+
+    def test_random_subset_bad_count(self):
+        g = path_graph(5)
+        with pytest.raises(SimulationError):
+            WakeSchedule.random_subset(g, 6)
+        with pytest.raises(SimulationError):
+            WakeSchedule.random_subset(g, 0)
+
+    def test_anti_rank_geometric_waves(self):
+        g = path_graph(40)
+        s = WakeSchedule.anti_rank_staggered(g, waves=4, gap=3.0, seed=2)
+        times = sorted(set(s.times().values()))
+        assert times == [0.0, 3.0, 6.0, 9.0]
+        from collections import Counter
+
+        counts = Counter(s.times().values())
+        assert counts[0.0] == 1 and counts[3.0] == 2 and counts[6.0] == 4
+
+    def test_schedules_are_times_copies(self):
+        s = WakeSchedule.singleton(1)
+        t = s.times()
+        t[99] = 0.0
+        assert 99 not in s.times()
+
+
+class TestDelays:
+    def test_unit(self):
+        assert UnitDelay().delay(0, 1, 5.0, 3) == 1.0
+
+    def test_uniform_in_range(self):
+        d = UniformRandomDelay(seed=1, lo=0.2)
+        vals = [d.delay(0, 1, 0.0, i) for i in range(200)]
+        assert all(0.2 <= v <= 1.0 for v in vals)
+        assert len(set(vals)) > 100  # genuinely varied
+
+    def test_uniform_pure_function(self):
+        d = UniformRandomDelay(seed=1)
+        assert d.delay(0, 1, 0.0, 5) == d.delay(0, 1, 99.0, 5)
+
+    def test_uniform_bad_lo(self):
+        with pytest.raises(SimulationError):
+            UniformRandomDelay(lo=0.0)
+        with pytest.raises(SimulationError):
+            UniformRandomDelay(lo=1.5)
+
+    def test_per_edge_stable(self):
+        d = PerEdgeDelay(seed=3)
+        assert d.delay(0, 1, 0.0, 1) == d.delay(0, 1, 7.0, 99)
+        assert 0.1 <= d.delay(2, 3, 0.0, 0) <= 1.0
+
+    def test_slow_edge(self):
+        d = SlowEdgeDelay([(0, 1)], fast=0.1)
+        assert d.delay(0, 1, 0.0, 0) == 1.0
+        assert d.delay(1, 0, 0.0, 0) == 0.1  # directed
+        assert d.delay(5, 6, 0.0, 0) == 0.1
+
+    def test_slow_edge_bad_fast(self):
+        with pytest.raises(SimulationError):
+            SlowEdgeDelay([], fast=0)
+
+    def test_adversary_default_delay(self):
+        a = Adversary(WakeSchedule.singleton(0))
+        assert isinstance(a.delays, UnitDelay)
+
+
+class TestSequentialSchedule:
+    def test_times_and_order(self):
+        s = WakeSchedule.sequential([5, 6, 7], gap=3.0)
+        assert s.times() == {5: 0.0, 6: 3.0, 7: 6.0}
+        assert s.initially_awake() == [5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            WakeSchedule.sequential([], gap=1.0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(SimulationError):
+            WakeSchedule.sequential([1], gap=-1.0)
+
+    def test_zero_gap_is_all_at_once(self):
+        s = WakeSchedule.sequential([1, 2], gap=0.0)
+        assert sorted(s.initially_awake()) == [1, 2]

@@ -1,0 +1,178 @@
+"""Tests for the downstream-application layer (leader election,
+spanning tree, payload broadcast)."""
+
+import pytest
+
+from repro.apps import FloodingBroadcast, LeaderElection, TreeBroadcast
+from repro.graphs.generators import (
+    complete_graph,
+    connected_erdos_renyi,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.traversal import is_tree
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import (
+    Adversary,
+    UniformRandomDelay,
+    UnitDelay,
+    WakeSchedule,
+)
+from repro.sim.runner import run_wakeup
+
+
+def run_le(graph, schedule, seed=0, delays=None):
+    setup = make_setup(graph, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=seed)
+    algo = LeaderElection()
+    adversary = Adversary(schedule, delays or UnitDelay())
+    result = run_wakeup(setup, algo, adversary, engine="async", seed=seed + 1)
+    return setup, algo, result
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(15),
+            lambda: cycle_graph(12),
+            lambda: star_graph(14),
+            lambda: complete_graph(15),
+            lambda: random_tree(25, seed=2),
+            lambda: connected_erdos_renyi(40, 0.12, seed=3),
+        ],
+    )
+    def test_unique_leader_elected(self, graph_factory):
+        g = graph_factory()
+        _, algo, r = run_le(g, WakeSchedule.random_subset(g, 4, seed=1))
+        assert r.all_awake
+        assert algo.agreed_leader() is not None
+
+    def test_single_candidate_wins(self):
+        g = path_graph(10)
+        setup, algo, _ = run_le(g, WakeSchedule.singleton(3))
+        assert algo.agreed_leader() == setup.id_of(3)
+
+    def test_spanning_tree_output(self):
+        g = connected_erdos_renyi(35, 0.15, seed=5)
+        _, algo, _ = run_le(g, WakeSchedule.random_subset(g, 6, seed=2))
+        tree = algo.spanning_tree()
+        assert tree is not None
+        assert is_tree(tree)
+        assert tree.num_vertices == 35
+        # every tree edge is a graph edge
+        for u, v in tree.edges():
+            assert g.has_edge(u, v)
+
+    def test_leader_is_root_of_tree(self):
+        g = connected_erdos_renyi(30, 0.15, seed=7)
+        setup, algo, _ = run_le(g, WakeSchedule.random_subset(g, 5, seed=3))
+        leader = algo.agreed_leader()
+        roots = [
+            v for v, port in algo.tree_parent_port.items() if port is None
+        ]
+        assert len(roots) == 1
+        assert setup.id_of(roots[0]) == leader
+
+    def test_under_random_delays(self):
+        g = connected_erdos_renyi(30, 0.15, seed=9)
+        _, algo, r = run_le(
+            g,
+            WakeSchedule.random_subset(g, 5, seed=4),
+            delays=UniformRandomDelay(seed=6),
+        )
+        assert r.all_awake
+        assert algo.agreed_leader() is not None
+        assert algo.spanning_tree() is not None
+
+    def test_staggered_candidates(self):
+        """Late-woken candidates with higher ranks overturn earlier
+        announcements; agreement must still hold at quiescence."""
+        g = connected_erdos_renyi(40, 0.12, seed=11)
+        verts = list(g.vertices())
+        schedule = WakeSchedule.staggered(
+            [(0.0, verts[:2]), (40.0, verts[10:12]), (90.0, verts[20:22])]
+        )
+        _, algo, r = run_le(g, schedule, seed=3)
+        assert r.all_awake
+        assert algo.agreed_leader() is not None
+
+    def test_announcement_overhead_is_linear(self):
+        """Leader election costs at most ~n extra messages over plain
+        dfs wake-up (one announcement per tree edge per completion)."""
+        from repro.core.dfs_wakeup import DfsWakeUp
+
+        g = connected_erdos_renyi(50, 0.12, seed=13)
+        setup = make_setup(g, knowledge=Knowledge.KT1, seed=1)
+        schedule = WakeSchedule.random_subset(g, 5, seed=2)
+        adversary = Adversary(schedule, UnitDelay())
+        plain = run_wakeup(setup, DfsWakeUp(), adversary, engine="async", seed=3)
+        algo = LeaderElection()
+        le = run_wakeup(setup, algo, adversary, engine="async", seed=3)
+        completions = len(
+            {v for v, p in algo.tree_parent_port.items() if p is None}
+        )
+        assert le.messages <= plain.messages + 3 * (50 - 1)
+
+
+class TestFloodingBroadcast:
+    def test_everyone_holds_payload(self):
+        g = connected_erdos_renyi(30, 0.15, seed=1)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        algo = FloodingBroadcast(payload=99)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        assert r.all_awake
+        assert algo.everyone_holds_payload(setup)
+
+    def test_multiple_sources_same_payload(self):
+        g = path_graph(20)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        algo = FloodingBroadcast(payload="boot-v2")
+        adversary = Adversary(
+            WakeSchedule.all_at_once([0, 10, 19]), UnitDelay()
+        )
+        run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        assert algo.everyone_holds_payload(setup)
+
+
+class TestTreeBroadcast:
+    def test_single_source_disseminates(self):
+        g = connected_erdos_renyi(40, 0.12, seed=4)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        algo = TreeBroadcast(payload=1234)
+        algo.mark_source(0)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        assert r.all_awake
+        assert algo.everyone_holds_payload(setup)
+
+    def test_linear_messages(self):
+        n = 80
+        g = random_tree(n, seed=6)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        algo = TreeBroadcast(payload=7)
+        algo.mark_source(0)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        assert algo.everyone_holds_payload(setup)
+        assert r.messages <= 3 * (n - 1)
+
+    def test_deep_leaf_source(self):
+        g = path_graph(15)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        algo = TreeBroadcast(payload="fw-9")
+        algo.mark_source(14)
+        adversary = Adversary(WakeSchedule.singleton(14), UnitDelay())
+        run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        assert algo.everyone_holds_payload(setup)
+
+    def test_congest_cap_respected(self):
+        g = star_graph(30)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        algo = TreeBroadcast(payload=3)
+        algo.mark_source(0)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(setup, algo, adversary, engine="async", seed=2)
+        assert r.max_message_bits <= setup.bandwidth.cap_bits

@@ -1,0 +1,164 @@
+"""Tests for the bit-level advice codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advice.bits import BitReader, BitWriter, Bits, gamma_cost
+from repro.errors import AdviceError
+
+
+class TestBits:
+    def test_construction_and_length(self):
+        b = Bits([1, 0, 1])
+        assert len(b) == 3
+        assert list(b) == [1, 0, 1]
+        assert b[0] == 1
+
+    def test_invalid_bit_values(self):
+        with pytest.raises(AdviceError):
+            Bits([2])
+
+    def test_equality_and_hash(self):
+        assert Bits([1, 0]) == Bits([1, 0])
+        assert Bits([1]) != Bits([0])
+        assert hash(Bits([1, 0])) == hash(Bits([1, 0]))
+
+    def test_concatenation(self):
+        assert Bits([1]) + Bits([0, 1]) == Bits([1, 0, 1])
+        with pytest.raises(AdviceError):
+            Bits() + [1, 0]  # type: ignore[operator]
+
+    def test_to01_roundtrip(self):
+        b = Bits([1, 1, 0, 1])
+        assert b.to01() == "1101"
+        assert Bits.from01("1101") == b
+
+    def test_empty(self):
+        assert len(Bits()) == 0
+        assert Bits().to01() == ""
+
+
+class TestWriterPrimitives:
+    def test_write_bit(self):
+        w = BitWriter().write_bit(1).write_bit(0)
+        assert w.getvalue() == Bits([1, 0])
+        with pytest.raises(AdviceError):
+            BitWriter().write_bit(7)
+
+    def test_write_uint(self):
+        w = BitWriter().write_uint(5, 4)
+        assert w.getvalue().to01() == "0101"
+
+    def test_write_uint_overflow(self):
+        with pytest.raises(AdviceError):
+            BitWriter().write_uint(8, 3)
+        with pytest.raises(AdviceError):
+            BitWriter().write_uint(-1, 3)
+
+    def test_write_uint_zero_width(self):
+        assert len(BitWriter().write_uint(0, 0)) == 0
+
+    def test_unary(self):
+        assert BitWriter().write_unary(3).getvalue().to01() == "0001"
+        assert BitWriter().write_unary(0).getvalue().to01() == "1"
+        with pytest.raises(AdviceError):
+            BitWriter().write_unary(-1)
+
+    def test_gamma_small_values(self):
+        assert BitWriter().write_gamma(1).getvalue().to01() == "1"
+        assert BitWriter().write_gamma(2).getvalue().to01() == "010"
+        assert BitWriter().write_gamma(5).getvalue().to01() == "00101"
+        with pytest.raises(AdviceError):
+            BitWriter().write_gamma(0)
+
+    def test_gamma_cost(self):
+        assert gamma_cost(1) == 1
+        assert gamma_cost(2) == 3
+        assert gamma_cost(1024) == 21
+        for v in (1, 3, 9, 100, 5000):
+            assert len(BitWriter().write_gamma(v)) == gamma_cost(v)
+        with pytest.raises(AdviceError):
+            gamma_cost(0)
+
+
+class TestReaderPrimitives:
+    def test_underflow(self):
+        r = BitReader(Bits([1]))
+        r.read_bit()
+        with pytest.raises(AdviceError):
+            r.read_bit()
+
+    def test_remaining(self):
+        r = BitReader(Bits([1, 0, 1]))
+        assert r.remaining == 3
+        r.read_bit()
+        assert r.remaining == 2
+
+    def test_read_uint(self):
+        r = BitReader(Bits.from01("0101"))
+        assert r.read_uint(4) == 5
+
+
+@given(values=st.lists(st.integers(0, 2**20), max_size=30))
+@settings(max_examples=60)
+def test_gamma0_roundtrip(values):
+    w = BitWriter()
+    for v in values:
+        w.write_gamma0(v)
+    r = BitReader(w.getvalue())
+    assert [r.read_gamma0() for _ in values] == values
+    assert r.remaining == 0
+
+
+@given(
+    values=st.lists(st.integers(0, 255), max_size=20),
+    width=st.just(8),
+)
+@settings(max_examples=40)
+def test_uint_list_roundtrip(values, width):
+    bits = BitWriter().write_uint_list(values, width).getvalue()
+    assert BitReader(bits).read_uint_list(width) == values
+
+
+@given(values=st.lists(st.integers(0, 10**6), max_size=15))
+@settings(max_examples=40)
+def test_gamma_list_roundtrip(values):
+    bits = BitWriter().write_gamma_list(values).getvalue()
+    assert BitReader(bits).read_gamma_list() == values
+
+
+@given(
+    payload=st.lists(
+        st.tuples(st.sampled_from(["bit", "uint", "gamma"]), st.integers(0, 1000)),
+        max_size=25,
+    )
+)
+@settings(max_examples=60)
+def test_mixed_stream_roundtrip(payload):
+    """Interleaved heterogeneous fields decode in order."""
+    w = BitWriter()
+    for kind, v in payload:
+        if kind == "bit":
+            w.write_bit(v & 1)
+        elif kind == "uint":
+            w.write_uint(v, 10)
+        else:
+            w.write_gamma0(v)
+    r = BitReader(w.getvalue())
+    for kind, v in payload:
+        if kind == "bit":
+            assert r.read_bit() == (v & 1)
+        elif kind == "uint":
+            assert r.read_uint(10) == v
+        else:
+            assert r.read_gamma0() == v
+    assert r.remaining == 0
+
+
+def test_write_bits_embedding():
+    inner = BitWriter().write_gamma(7).getvalue()
+    outer = BitWriter().write_bit(1).write_bits(inner).getvalue()
+    r = BitReader(outer)
+    assert r.read_bit() == 1
+    assert r.read_gamma() == 7

@@ -1,0 +1,147 @@
+"""Tests for the Theorem-5B child-encoding scheme (CEN)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.child_encoding import (
+    ChildEncodingAdvice,
+    decode_cen,
+    encode_cen,
+)
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_graph,
+    connected_erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.traversal import diameter
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def run_cen(graph, awake, seed=0, engine="async", trace=False):
+    setup = make_setup(graph, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=seed)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    return run_wakeup(
+        setup, ChildEncodingAdvice(), adversary, engine=engine,
+        seed=seed + 1, record_trace=trace,
+    )
+
+
+opt_port = st.one_of(st.none(), st.integers(1, 10**6))
+
+
+@given(p=opt_port, fc=opt_port, n1=opt_port, n2=opt_port)
+@settings(max_examples=80)
+def test_cen_encoding_roundtrip(p, fc, n1, n2):
+    bits = encode_cen(p, fc, (n1, n2))
+    assert decode_cen(bits) == (p, fc, (n1, n2))
+
+
+def test_cen_advice_is_logarithmic():
+    """Max advice is O(log n) bits — the headline of Theorem 5B."""
+    for n in (50, 200, 800):
+        g = connected_erdos_renyi(n, 6.0 / n, seed=n)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        advice = ChildEncodingAdvice().compute_advice(setup)
+        assert advice.max_bits <= 8 * math.log2(n) + 16
+
+
+def test_cen_advice_star_center_constant():
+    """Even the center of a star (n-1 children) stores only its first
+    child's port: the rest is distributed among the children."""
+    g = star_graph(200)
+    setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+    advice = ChildEncodingAdvice().compute_advice(setup)
+    assert advice.max_bits <= 50
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(20),
+            lambda: star_graph(30),
+            lambda: grid_graph(6, 6),
+            lambda: random_tree(40, seed=5),
+            lambda: complete_graph(20),
+            lambda: caterpillar_graph(8, 10),
+            lambda: connected_erdos_renyi(50, 0.1, seed=3),
+        ],
+    )
+    def test_all_awake_single_start(self, graph_factory):
+        g = graph_factory()
+        for start in list(g.vertices())[:: max(1, g.num_vertices // 4)]:
+            r = run_cen(g, [start])
+            assert r.all_awake, f"failed from start {start!r}"
+
+    @pytest.mark.parametrize("engine", ["async", "sync"])
+    def test_both_engines(self, engine):
+        g = grid_graph(5, 5)
+        r = run_cen(g, [12], engine=engine)
+        assert r.all_awake
+
+    def test_multi_source(self):
+        g = random_tree(60, seed=9)
+        r = run_cen(g, [0, 20, 40])
+        assert r.all_awake
+
+    def test_leaf_start_propagates_up_and_down(self):
+        """Waking a deep leaf must wake the whole tree through the
+        up-chain."""
+        g = path_graph(15)
+        r = run_cen(g, [14])
+        assert r.all_awake
+
+
+class TestBounds:
+    def test_linear_messages(self):
+        """<= ~3 messages per tree edge: up + probe + next."""
+        for n in (40, 120):
+            g = connected_erdos_renyi(n, 5.0 / n, seed=n)
+            r = run_cen(g, [0])
+            assert r.messages <= 3 * (n - 1)
+
+    def test_linear_messages_many_sources(self):
+        g = random_tree(100, seed=4)
+        r = run_cen(g, list(g.vertices())[::10])
+        assert r.messages <= 3 * 99
+
+    def test_time_d_log_n(self):
+        g = grid_graph(10, 10)
+        d = diameter(g)
+        n = g.num_vertices
+        r = run_cen(g, [0])
+        assert r.time_all_awake <= 4 * d * math.log2(n)
+
+    def test_star_discovery_takes_log_rounds(self):
+        """Discovering t children takes Theta(log t) alternations, not
+        Theta(t)."""
+        g = star_graph(129)  # 128 leaves
+        r = run_cen(g, [0])
+        # ~2 * log2(128) = 14 alternations; allow generous slack.
+        assert r.time_all_awake <= 20
+        assert r.time_all_awake >= math.log2(128)
+
+    def test_congest_safe(self):
+        g = star_graph(100)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        r = run_cen(g, [0])
+        assert r.max_message_bits <= setup.bandwidth.cap_bits
+
+    def test_each_tree_edge_carries_at_most_three(self):
+        g = random_tree(50, seed=8)
+        r = run_cen(g, [25], trace=True)
+        from collections import Counter
+
+        usage = Counter(
+            frozenset((repr(m.src), repr(m.dst))) for m in r.trace.sends()
+        )
+        assert all(c <= 3 for c in usage.values())

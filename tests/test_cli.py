@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "flooding"])
+        assert args.n == 200
+        assert args.awake == 1
+        assert not args.wave
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_sweep_sizes(self):
+        args = build_parser().parse_args(
+            ["sweep", "flooding", "--sizes", "10", "20"]
+        )
+        assert args.sizes == [10, 20]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dfs-rank" in out
+        assert "KT1/LOCAL" in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "flooding", "--n", "30", "--awake", "2", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flooding" in out
+        assert "True" in out  # all_awake
+
+    def test_run_with_wave(self, capsys):
+        code = main(
+            ["run", "fip06-tree-advice", "--n", "25", "--seed", "2", "--wave"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adversary:" in out
+
+    def test_run_sync_algorithm(self, capsys):
+        code = main(["run", "fast-wakeup", "--n", "30", "--seed", "3"])
+        assert code == 0
+        assert "fast-wakeup" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        code = main(["table1", "--n", "50", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thm 3" in out
+        assert "rho_awk" in out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "flooding", "--sizes", "20", "40", "--trials", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "messages ~" in out
+        assert "n^" in out
+
+    def test_lowerbounds(self, capsys):
+        code = main(["lowerbounds", "--n", "24", "--betas", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1 frontier" in out
+        assert "Theorem 2 matching upper bound" in out

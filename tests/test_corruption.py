@@ -1,0 +1,99 @@
+"""Tests for the advice-corruption experiments."""
+
+import random
+
+import pytest
+
+from repro.advice.bits import Bits
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.flooding import Flooding
+from repro.errors import ReproError
+from repro.experiments.corruption import (
+    corruption_curve,
+    corruption_trial,
+    flip_bits,
+)
+from repro.graphs.generators import connected_erdos_renyi, path_graph
+from repro.models.knowledge import Knowledge, make_setup
+
+
+class TestFlipBits:
+    def test_zero_flips_identity(self):
+        advice = {"a": Bits([1, 0, 1])}
+        out = flip_bits(advice, 0, random.Random(1))
+        assert out["a"] == advice["a"]
+
+    def test_flip_count_parity(self):
+        """An odd number of flips over a single string changes it."""
+        advice = {"a": Bits([0] * 16)}
+        out = flip_bits(advice, 3, random.Random(2))
+        diff = sum(x != y for x, y in zip(advice["a"], out["a"]))
+        assert diff % 2 == 1  # flips can collide pairwise, parity holds
+        assert 1 <= diff <= 3
+
+    def test_empty_advice_untouched(self):
+        advice = {"a": Bits(), "b": Bits([1])}
+        out = flip_bits(advice, 5, random.Random(3))
+        assert out["a"] == Bits()
+        assert len(out["b"]) == 1
+
+    def test_all_empty(self):
+        advice = {"a": Bits()}
+        assert flip_bits(advice, 10, random.Random(1)) == {"a": Bits()}
+
+
+class TestTrials:
+    def test_zero_flips_is_ok(self):
+        g = connected_erdos_renyi(30, 0.15, seed=1)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        out = corruption_trial(setup, Fip06TreeAdvice(), [0], flips=0, seed=2)
+        assert out == "ok"
+
+    def test_requires_advising_scheme(self):
+        g = path_graph(5)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        with pytest.raises(ReproError):
+            corruption_trial(setup, Flooding(), [0], flips=1)
+
+    def test_heavy_corruption_usually_fails(self):
+        g = connected_erdos_renyi(40, 0.1, seed=3)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        outcomes = [
+            corruption_trial(
+                setup, ChildEncodingAdvice(), [0], flips=60, seed=s
+            )
+            for s in range(10)
+        ]
+        assert sum(o != "ok" for o in outcomes) >= 6
+
+    def test_outcome_vocabulary(self):
+        g = connected_erdos_renyi(25, 0.15, seed=5)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        for s in range(6):
+            out = corruption_trial(
+                setup, ChildEncodingAdvice(), [0], flips=8, seed=s
+            )
+            assert out in ("ok", "asleep", "error")
+
+
+class TestCurve:
+    def test_failure_rate_monotone_ish(self):
+        g = connected_erdos_renyi(35, 0.12, seed=7)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        points = corruption_curve(
+            setup, ChildEncodingAdvice, [0],
+            flip_counts=[0, 4, 40], trials=8, seed=3,
+        )
+        rates = [p.failure_rate for p in points]
+        assert rates[0] == 0.0
+        assert rates[2] >= rates[1]
+        assert rates[2] > 0.5
+
+    def test_point_accounting(self):
+        g = connected_erdos_renyi(25, 0.15, seed=9)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        (point,) = corruption_curve(
+            setup, Fip06TreeAdvice, [0], flip_counts=[2], trials=5, seed=1
+        )
+        assert point.ok + point.asleep + point.error == point.trials

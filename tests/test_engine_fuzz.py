@@ -1,0 +1,202 @@
+"""Engine fuzzing: random protocols vs engine invariants.
+
+Hypothesis generates arbitrary little protocols (random fan-out, random
+payload sizes, bounded TTL so executions terminate) and random
+adversaries; the tests then check the invariants the engines must
+uphold regardless of the protocol:
+
+* conservation — every sent message is delivered exactly once;
+* FIFO — per directed channel, delivery order equals send order;
+* causality — a delivery never precedes its send, and never lags it by
+  more than the normalized delay bound τ = 1 (plus FIFO queueing);
+* wake-once — each node's on_wake fires exactly once, before any of
+  its on_message callbacks;
+* determinism — identical seeds give identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import connected_erdos_renyi
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import (
+    Adversary,
+    UniformRandomDelay,
+    UnitDelay,
+    WakeSchedule,
+)
+from repro.sim.async_engine import AsyncEngine
+from repro.sim.node import NodeAlgorithm
+from repro.sim.sync_engine import SyncEngine
+from repro.sim.trace import Trace
+
+FUZZ_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class FuzzNode(NodeAlgorithm):
+    """Random protocol: on wake/message, send to a random subset of
+    ports with a TTL that strictly decreases, guaranteeing quiescence."""
+
+    def __init__(self, fanout: int, ttl: int):
+        self._fanout = fanout
+        self._ttl = ttl
+        self.wakes = 0
+        self.deliveries = 0
+        self.woke_before_messages = True
+
+    def on_wake(self, ctx):
+        self.wakes += 1
+        if self.deliveries > 0:
+            self.woke_before_messages = False
+        self._emit(ctx, self._ttl)
+
+    def on_message(self, ctx, port, payload):
+        self.deliveries += 1
+        if self.wakes == 0:
+            self.woke_before_messages = False
+        _, ttl = payload
+        if ttl > 0:
+            self._emit(ctx, ttl - 1)
+
+    def _emit(self, ctx, ttl):
+        if ctx.degree == 0:
+            return
+        count = min(self._fanout, ctx.degree)
+        ports = ctx.rng.sample(range(1, ctx.degree + 1), count)
+        for p in ports:
+            ctx.send(p, ("fuzz", ttl))
+
+
+def build_world(seed: int, n: int, fanout: int, ttl: int, wake_count: int):
+    graph = connected_erdos_renyi(n, 3.0 / n, seed=seed)
+    setup = make_setup(graph, knowledge=Knowledge.KT0, seed=seed)
+    nodes = {v: FuzzNode(fanout, ttl) for v in graph.vertices()}
+    rng = random.Random(seed + 1)
+    awake = rng.sample(list(graph.vertices()), min(wake_count, n))
+    adversary = Adversary(
+        WakeSchedule.all_at_once(awake), UniformRandomDelay(seed=seed)
+    )
+    return setup, nodes, adversary
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 20),
+    fanout=st.integers(1, 3),
+    ttl=st.integers(0, 3),
+    wake_count=st.integers(1, 3),
+)
+@settings(**FUZZ_SETTINGS)
+def test_conservation_and_fifo(seed, n, fanout, ttl, wake_count):
+    setup, nodes, adversary = build_world(seed, n, fanout, ttl, wake_count)
+    trace = Trace()
+    AsyncEngine(setup, nodes, adversary, seed=seed, trace=trace).run()
+
+    sends = trace.sends()
+    deliveries = trace.deliveries()
+    # conservation: every send delivered exactly once
+    assert sorted(m.seq for m in sends) == sorted(m.seq for m in deliveries)
+
+    # FIFO per directed channel
+    per_channel_sent = defaultdict(list)
+    per_channel_recv = defaultdict(list)
+    for ev in trace.events:
+        if ev.kind == "send":
+            per_channel_sent[(repr(ev.detail.src), repr(ev.detail.dst))].append(
+                ev.detail.seq
+            )
+        elif ev.kind == "deliver":
+            per_channel_recv[(repr(ev.detail.src), repr(ev.detail.dst))].append(
+                ev.detail.seq
+            )
+    for chan, sent in per_channel_sent.items():
+        assert per_channel_recv[chan] == sent
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 18),
+    fanout=st.integers(1, 3),
+    ttl=st.integers(0, 2),
+)
+@settings(**FUZZ_SETTINGS)
+def test_causality_bounds(seed, n, fanout, ttl):
+    setup, nodes, adversary = build_world(seed, n, fanout, ttl, 2)
+    trace = Trace()
+    AsyncEngine(setup, nodes, adversary, seed=seed, trace=trace).run()
+    send_time = {}
+    for ev in trace.events:
+        if ev.kind == "send":
+            send_time[ev.detail.seq] = ev.time
+        elif ev.kind == "deliver":
+            sent = send_time[ev.detail.seq]
+            assert ev.time > sent  # strictly positive delay
+            # delay <= tau (=1) plus FIFO-queueing epsilon slack
+            assert ev.time <= sent + 1.0 + 1e-6
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 18),
+    fanout=st.integers(1, 3),
+    ttl=st.integers(1, 3),
+)
+@settings(**FUZZ_SETTINGS)
+def test_wake_exactly_once_and_first(seed, n, fanout, ttl):
+    setup, nodes, adversary = build_world(seed, n, fanout, ttl, 2)
+    AsyncEngine(setup, nodes, adversary, seed=seed).run()
+    for node in nodes.values():
+        assert node.wakes <= 1
+        assert node.woke_before_messages
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(**FUZZ_SETTINGS)
+def test_async_trace_determinism(seed):
+    traces = []
+    for _ in range(2):
+        setup, nodes, adversary = build_world(seed, 12, 2, 2, 2)
+        trace = Trace()
+        AsyncEngine(setup, nodes, adversary, seed=seed, trace=trace).run()
+        traces.append(
+            [
+                (round(e.time, 9), e.kind, repr(e.vertex))
+                for e in trace.events
+            ]
+        )
+    assert traces[0] == traces[1]
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 16),
+    fanout=st.integers(1, 3),
+    ttl=st.integers(0, 2),
+)
+@settings(**FUZZ_SETTINGS)
+def test_sync_engine_same_invariants(seed, n, fanout, ttl):
+    setup, _, _ = build_world(seed, n, fanout, ttl, 2)
+    nodes = {v: FuzzNode(fanout, ttl) for v in setup.graph.vertices()}
+    rng = random.Random(seed + 1)
+    awake = rng.sample(list(setup.graph.vertices()), 2)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    trace = Trace()
+    SyncEngine(setup, nodes, adversary, seed=seed, trace=trace).run()
+    sends = trace.sends()
+    deliveries = trace.deliveries()
+    assert sorted(m.seq for m in sends) == sorted(m.seq for m in deliveries)
+    for ev in trace.events:
+        if ev.kind == "deliver":
+            assert ev.time == ev.detail.sent_at + 1  # next round exactly
+    for node in nodes.values():
+        assert node.wakes <= 1
+        assert node.woke_before_messages

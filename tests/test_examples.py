@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion.
+
+Run as subprocesses so the scripts are exercised exactly as a user
+would invoke them (shebang path, ``__main__`` guard, argv handling).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "80")
+    assert "Table 1" in out
+    assert "dfs-rank" in out
+    assert "True" in out
+
+
+def test_datacenter():
+    out = run_example("datacenter_wakeup.py")
+    assert "datacenter:" in out
+    assert "child-encoding" in out
+    assert "cuts wake-up traffic" in out
+
+
+def test_leader_election_demo():
+    out = run_example("leader_election_demo.py")
+    assert "elected leader id" in out
+    assert "spanning tree valid: True" in out
+    assert "tree-broadcast" in out
+
+
+@pytest.mark.slow
+def test_adversarial_attacks():
+    out = run_example("adversarial_attacks.py")
+    assert "Attack 1" in out
+    assert "star-broadcast" in out
+    assert "anti-rank staggered" in out
+
+
+@pytest.mark.slow
+def test_advice_tradeoffs():
+    out = run_example("advice_tradeoffs.py")
+    assert "Theorem-1 frontier" in out
+    assert "k-dial" in out
+
+
+def test_wireless_wakeup():
+    out = run_example("wireless_wakeup.py")
+    assert "sparse field" in out
+    assert "dense field" in out
+    assert "child-encoding" in out

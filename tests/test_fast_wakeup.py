@@ -1,0 +1,220 @@
+"""Tests for the Theorem-4 FastWakeUp algorithm."""
+
+import math
+
+import pytest
+
+from repro.core.fast_wakeup import ACTIVATE, BFS1, FastWakeUp
+from repro.graphs.generators import (
+    complete_graph,
+    connected_erdos_renyi,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def run_fast(graph, awake, seed=0, sample_override=None, trace=False):
+    setup = make_setup(graph, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=seed)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    return run_wakeup(
+        setup,
+        FastWakeUp(sample_override=sample_override),
+        adversary,
+        engine="sync",
+        seed=seed + 1,
+        record_trace=trace,
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_factory,awake",
+        [
+            (lambda: path_graph(20), [0]),
+            (lambda: grid_graph(7, 7), [24]),
+            (lambda: star_graph(15), [3]),
+            (lambda: complete_graph(25), [0]),
+            (lambda: connected_erdos_renyi(60, 0.08, seed=1), [0, 30]),
+        ],
+    )
+    def test_wakes_everyone(self, graph_factory, awake):
+        g = graph_factory()
+        r = run_fast(g, awake)
+        assert r.all_awake
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wakes_everyone_random(self, seed):
+        g = connected_erdos_renyi(50, 0.1, seed=seed)
+        import random
+
+        awake = random.Random(seed).sample(list(g.vertices()), 6)
+        r = run_fast(g, awake, seed=seed)
+        assert r.all_awake
+
+    def test_all_roots_still_correct(self):
+        """sample_override=1.0: everyone who activates becomes a root."""
+        g = grid_graph(6, 6)
+        r = run_fast(g, [0], sample_override=1.0)
+        assert r.all_awake
+
+    def test_no_roots_still_correct(self):
+        """sample_override=0.0: pure 10-round activate! relay."""
+        g = grid_graph(6, 6)
+        r = run_fast(g, [0], sample_override=0.0)
+        assert r.all_awake
+
+
+class TestTimeBound:
+    @pytest.mark.parametrize(
+        "graph_factory,awake",
+        [
+            (lambda: path_graph(30), [0]),
+            (lambda: grid_graph(8, 8), [0]),
+            (lambda: connected_erdos_renyi(80, 0.06, seed=2), [5]),
+        ],
+    )
+    def test_ten_rho_rounds(self, graph_factory, awake):
+        """Theorem 4: all nodes wake within 10 * rho_awk rounds (we
+        allow one extra wave of slack for the final broadcast hop)."""
+        g = graph_factory()
+        rho = awake_distance(g, awake)
+        r = run_fast(g, awake)
+        assert r.time_all_awake <= 10 * rho + 10
+
+    def test_rho_one_constant_rounds(self):
+        """Dominating awake set: wake-up completes in O(1) rounds."""
+        g = complete_graph(30)
+        r = run_fast(g, list(g.vertices())[:10])
+        assert r.time_all_awake <= 11
+
+    def test_late_adversary_wakeups_cause_no_failure(self):
+        g = grid_graph(6, 6)
+        setup = make_setup(g, knowledge=Knowledge.KT1, seed=4)
+        schedule = WakeSchedule.staggered(
+            [(0.0, [0]), (7.0, [35]), (23.0, [17])]
+        )
+        r = run_wakeup(
+            setup, FastWakeUp(), Adversary(schedule, UnitDelay()),
+            engine="sync", seed=5,
+        )
+        assert r.all_awake
+
+
+class TestMessageBound:
+    def test_subquadratic_on_dense_all_awake(self):
+        """All awake on K_n: naive broadcast costs n(n-1); FastWakeUp
+        must be well below (the Lemma 13 capture mechanism)."""
+        n = 60
+        g = complete_graph(n)
+        r = run_fast(g, list(g.vertices()))
+        naive = n * (n - 1)
+        assert r.messages < naive
+
+    def test_message_shape_n_to_three_halves(self):
+        for n in (60, 120):
+            g = connected_erdos_renyi(n, 8.0 / n, seed=n)
+            r = run_fast(g, list(g.vertices()), seed=1)
+            bound = 25 * n**1.5 * math.sqrt(math.log(n))
+            assert r.messages <= bound
+
+    def test_roots_suppress_activate_broadcasts(self):
+        """With sampling forced on, nearly every node is captured by a
+        tree and activate! traffic should (almost) vanish."""
+        g = complete_graph(40)
+        r_all = run_fast(g, list(g.vertices()), sample_override=1.0, trace=True)
+        activates = [
+            m for m in r_all.trace.sends() if m.payload == (ACTIVATE,)
+        ]
+        assert len(activates) == 0
+
+    def test_no_sampling_means_pure_broadcast(self):
+        g = complete_graph(20)
+        r = run_fast(g, list(g.vertices()), sample_override=0.0, trace=True)
+        activates = [
+            m for m in r.trace.sends() if m.payload == (ACTIVATE,)
+        ]
+        assert len(activates) == 20 * 19
+
+
+class TestProtocolDetails:
+    def test_bfs_construction_stays_on_tree_edges(self):
+        """bfs1 goes root->neighbors only: count matches root degrees."""
+        g = grid_graph(5, 5)
+        r = run_fast(g, [12], sample_override=1.0, trace=True)
+        bfs1 = [m for m in r.trace.sends() if m.payload[0] == BFS1]
+        # only vertex 12 is initially active, so the first root wave is
+        # exactly its degree
+        first_round = [m for m in bfs1 if m.sent_at == 0.0]
+        assert len(first_round) == g.degree(12)
+
+    def test_deterministic(self):
+        g = connected_erdos_renyi(40, 0.12, seed=6)
+        r1 = run_fast(g, [0, 20], seed=9)
+        r2 = run_fast(g, [0, 20], seed=9)
+        assert (r1.messages, r1.time) == (r2.messages, r2.time)
+
+
+class TestLemmas9To11:
+    """Direct empirical checks of the Sec-3.2 supporting lemmas."""
+
+    def _run_with_nodes(self, g, awake, seed=0):
+        from repro.core.fast_wakeup import FastWakeUp
+        from repro.sim.sync_engine import SyncEngine
+
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=seed)
+        algo = FastWakeUp()
+        nodes = algo.build_nodes(setup)
+        adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+        eng = SyncEngine(setup, nodes, adversary, seed=seed + 1)
+        metrics = eng.run()
+        return setup, nodes, metrics
+
+    def test_lemma9_neighbors_awake_at_deactivation(self):
+        """Lemma 9: when a node deactivates in round r, every neighbor
+        is awake at the start of round r."""
+        for seed in range(3):
+            g = connected_erdos_renyi(50, 0.12, seed=20 + seed)
+            setup, nodes, metrics = self._run_with_nodes(g, [0, 25], seed=seed)
+            for v, node in nodes.items():
+                if node.deactivated_at_local is None:
+                    continue
+                global_round = (
+                    metrics.wake_time[v] + node.deactivated_at_local
+                )
+                for u in g.neighbors(v):
+                    assert metrics.wake_time[u] <= global_round, (v, u)
+
+    def test_lemma11_deactivation_within_eleven_rounds(self):
+        """Lemma 11: a node woken in round r deactivates by r + 10
+        (broadcasters stop after round 10 as well)."""
+        for seed in range(3):
+            g = connected_erdos_renyi(40, 0.15, seed=30 + seed)
+            setup, nodes, metrics = self._run_with_nodes(g, [0], seed=seed)
+            for v, node in nodes.items():
+                if node.deactivated_at_local is not None:
+                    assert node.deactivated_at_local <= 10
+                else:
+                    # never formally deactivated => it must have run its
+                    # broadcast (round 10) and stopped
+                    assert node.broadcast_done or not node.active
+
+    def test_lemma10_roots_finish_in_nine_rounds(self):
+        """Lemma 10: a root's construction completes 9 rounds after its
+        sampling step (deactivation deadline fires at local round 9)."""
+        from repro.core.fast_wakeup import FastWakeUp
+        from repro.sim.sync_engine import SyncEngine
+
+        g = grid_graph(5, 5)
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=7)
+        algo = FastWakeUp(sample_override=1.0)  # every active node roots
+        nodes = algo.build_nodes(setup)
+        adversary = Adversary(WakeSchedule.singleton(12), UnitDelay())
+        SyncEngine(setup, nodes, adversary, seed=1).run()
+        root_node = nodes[12]
+        assert root_node.is_root
+        assert root_node.deactivated_at_local == 9

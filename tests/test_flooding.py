@@ -1,0 +1,99 @@
+"""Tests for the flooding baseline."""
+
+import pytest
+
+from repro.core.flooding import EchoFlooding, Flooding
+from repro.graphs.generators import (
+    complete_graph,
+    connected_erdos_renyi,
+    grid_graph,
+    path_graph,
+)
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+@pytest.mark.parametrize("engine", ["async", "sync"])
+class TestFlooding:
+    def test_wakes_everyone(self, engine):
+        g = connected_erdos_renyi(40, 0.1, seed=1)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=2)
+        r = run_wakeup(
+            setup, Flooding(),
+            Adversary(WakeSchedule.singleton(0), UnitDelay()),
+            engine=engine,
+        )
+        assert r.all_awake
+
+    def test_message_complexity_exactly_2m(self, engine):
+        g = grid_graph(6, 6)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=2)
+        r = run_wakeup(
+            setup, Flooding(),
+            Adversary(WakeSchedule.singleton(0), UnitDelay()),
+            engine=engine,
+        )
+        assert r.messages == 2 * g.num_edges
+
+    def test_time_equals_awake_distance(self, engine):
+        g = grid_graph(5, 8)
+        awake = [0, 39]
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=2)
+        r = run_wakeup(
+            setup, Flooding(),
+            Adversary(WakeSchedule.all_at_once(awake), UnitDelay()),
+            engine=engine,
+        )
+        assert r.time_all_awake == awake_distance(g, awake)
+
+    def test_wake_times_equal_distances(self, engine):
+        """Flooding realizes dist(A0, v) exactly under unit delays."""
+        from repro.graphs.traversal import multi_source_bfs
+
+        g = connected_erdos_renyi(30, 0.12, seed=5)
+        awake = [0, 7]
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=2)
+        r = run_wakeup(
+            setup, Flooding(),
+            Adversary(WakeSchedule.all_at_once(awake), UnitDelay()),
+            engine=engine,
+        )
+        dist = multi_source_bfs(g, awake)
+        for v in g.vertices():
+            assert r.wake_time[v] == pytest.approx(float(dist[v]))
+
+
+def test_echo_flooding_adds_one_ack_per_receiving_node():
+    # Every node that ever receives a wake message acks exactly once;
+    # on a path flooded from one end that is every node (including the
+    # origin, which hears back from its neighbor).
+    g = path_graph(10)
+    setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+    adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+    plain = run_wakeup(setup, Flooding(), adversary, engine="async")
+    echo = run_wakeup(setup, EchoFlooding(), adversary, engine="async")
+    assert echo.messages == plain.messages + g.num_vertices
+
+
+def test_flooding_on_complete_graph_is_quadratic():
+    g = complete_graph(20)
+    setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+    r = run_wakeup(
+        setup, Flooding(),
+        Adversary(WakeSchedule.singleton(0), UnitDelay()),
+        engine="async",
+    )
+    assert r.messages == 20 * 19
+
+
+def test_flooding_congest_safe():
+    g = path_graph(5)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    r = run_wakeup(
+        setup, Flooding(),
+        Adversary(WakeSchedule.singleton(0), UnitDelay()),
+        engine="async",
+    )
+    assert r.max_message_bits <= setup.bandwidth.cap_bits

@@ -1,0 +1,157 @@
+"""Tests for the finite-field substrate: full axiom checks on the small
+fields the D(k, q) construction uses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.graphs.galois import (
+    GF,
+    factor_prime_power,
+    find_irreducible,
+    is_prime,
+)
+
+SMALL_FIELDS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+
+
+class TestPrimality:
+    def test_primes(self):
+        primes = [2, 3, 5, 7, 11, 13, 97]
+        for p in primes:
+            assert is_prime(p)
+
+    def test_composites(self):
+        for c in [0, 1, 4, 6, 9, 15, 91, 100]:
+            assert not is_prime(c)
+
+    def test_factor_prime_power(self):
+        assert factor_prime_power(8) == (2, 3)
+        assert factor_prime_power(9) == (3, 2)
+        assert factor_prime_power(7) == (7, 1)
+        assert factor_prime_power(16) == (2, 4)
+
+    def test_factor_rejects_non_prime_powers(self):
+        for bad in [1, 6, 10, 12, 15, 100]:
+            with pytest.raises(FieldError):
+                factor_prime_power(bad)
+
+
+class TestIrreducible:
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (5, 2)])
+    def test_has_no_roots(self, p, m):
+        poly = find_irreducible(p, m)
+        assert len(poly) == m + 1
+        assert poly[-1] == 1  # monic
+        for a in range(p):
+            acc = 0
+            for c in reversed(poly):
+                acc = (acc * a + c) % p
+            assert acc != 0
+
+
+@pytest.mark.parametrize("q", SMALL_FIELDS)
+class TestFieldAxioms:
+    def test_additive_group(self, q):
+        f = GF(q)
+        for a in f.elements():
+            assert f.add(a, f.zero) == a
+            assert f.add(a, f.neg(a)) == f.zero
+            for b in f.elements():
+                assert f.add(a, b) == f.add(b, a)
+                assert 0 <= f.add(a, b) < q
+
+    def test_multiplicative_group(self, q):
+        f = GF(q)
+        for a in f.elements():
+            assert f.mul(a, f.one) == a
+            assert f.mul(a, f.zero) == f.zero
+            if a != 0:
+                assert f.mul(a, f.inv(a)) == f.one
+        # closure + commutativity
+        for a in f.elements():
+            for b in f.elements():
+                assert f.mul(a, b) == f.mul(b, a)
+
+    def test_distributivity(self, q):
+        f = GF(q)
+        elems = list(f.elements())
+        # sample cubic triples on larger fields to keep the test fast
+        triples = (
+            [(a, b, c) for a in elems for b in elems for c in elems]
+            if q <= 9
+            else [
+                (a, b, c)
+                for a in elems[::3]
+                for b in elems[::3]
+                for c in elems[::3]
+            ]
+        )
+        for a, b, c in triples:
+            assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    def test_associativity(self, q):
+        f = GF(q)
+        elems = list(f.elements())[: min(q, 8)]
+        for a in elems:
+            for b in elems:
+                for c in elems:
+                    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+                    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+
+    def test_no_zero_divisors(self, q):
+        f = GF(q)
+        for a in range(1, q):
+            for b in range(1, q):
+                assert f.mul(a, b) != 0
+
+    def test_sub_inverts_add(self, q):
+        f = GF(q)
+        for a in f.elements():
+            for b in f.elements():
+                assert f.sub(f.add(a, b), b) == a
+
+    def test_div_inverts_mul(self, q):
+        f = GF(q)
+        for a in f.elements():
+            for b in range(1, q):
+                assert f.div(f.mul(a, b), b) == a
+
+
+class TestFieldMisc:
+    def test_inv_zero_raises(self):
+        with pytest.raises(FieldError):
+            GF(5).inv(0)
+
+    def test_out_of_range_raises(self):
+        f = GF(4)
+        with pytest.raises(FieldError):
+            f.add(4, 0)
+        with pytest.raises(FieldError):
+            f.mul(-1, 0)
+
+    def test_characteristic(self):
+        f = GF(8)
+        # char 2: a + a = 0 for all a
+        for a in f.elements():
+            assert f.add(a, a) == 0
+        f9 = GF(9)
+        for a in f9.elements():
+            assert f9.add(f9.add(a, a), a) == 0
+
+    def test_pow(self):
+        f = GF(7)
+        assert f.pow(3, 0) == 1
+        assert f.pow(3, 2) == 2
+        assert f.pow(3, 6) == 1  # Fermat
+        assert f.pow(3, -1) == f.inv(3)
+
+    def test_fermat_on_extension(self):
+        f = GF(9)
+        for a in range(1, 9):
+            assert f.pow(a, 8) == 1  # multiplicative group order q-1
+
+    def test_non_prime_power_rejected(self):
+        with pytest.raises(FieldError):
+            GF(6)

@@ -1,0 +1,133 @@
+"""Tests for the gossip protocols (Sec 1.3 / footnote 3)."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import median
+from repro.core.gossip import PushGossipWakeUp, PushPullBroadcast
+from repro.graphs.generators import (
+    complete_graph,
+    connected_erdos_renyi,
+    lollipop_graph,
+    random_regular,
+)
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def run_push(graph, awake, seed=0, active_rounds=0):
+    setup = make_setup(graph, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=seed)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    return run_wakeup(
+        setup,
+        PushGossipWakeUp(active_rounds=active_rounds),
+        adversary,
+        engine="sync",
+        seed=seed + 1,
+        require_all_awake=False,
+        max_rounds=10**6,
+    )
+
+
+class TestPushGossip:
+    def test_wakes_regular_expander_quickly(self):
+        """[SS11]: push-only suffices on regular well-connected graphs —
+        O(log n) rounds."""
+        g = random_regular(64, 6, seed=3)
+        r = run_push(g, [0], seed=1)
+        assert r.all_awake
+        assert r.time_all_awake <= 8 * math.log2(64)
+
+    def test_wakes_complete_graph(self):
+        g = complete_graph(50)
+        r = run_push(g, [0], seed=2)
+        assert r.all_awake
+        assert r.time_all_awake <= 8 * math.log2(50)
+
+    def test_footnote3_lollipop_is_slow(self):
+        """Footnote 3: constant expansion does not save push-only —
+        the pendant waits ~n rounds (its only neighbor pushes to it
+        w.p. 1/n per round)."""
+        n = 40
+        g = lollipop_graph(n, 1)
+        pendant = n
+        waits = []
+        for seed in range(8):
+            r = run_push(g, [3], seed=seed)
+            assert r.all_awake
+            waits.append(r.wake_time[pendant])
+        med = median(waits)
+        # expected wait ~ n; allow broad randomness but demand it far
+        # exceeds the O(log n) that the clique needs
+        assert med >= 2 * math.log2(n)
+
+    def test_budget_exhaustion_reports_failure(self):
+        g = lollipop_graph(30, 1)
+        r = run_push(g, [0], seed=1, active_rounds=2)
+        assert not r.all_awake
+
+    def test_message_count_bounded_by_awake_rounds(self):
+        """Each awake node sends at most one push per round."""
+        g = complete_graph(20)
+        r = run_push(g, [0], seed=4, active_rounds=10)
+        assert r.messages <= 20 * 10
+
+
+class TestPushPullBroadcast:
+    def _run(self, graph, source_vertex, seed=0, active_rounds=0):
+        setup = make_setup(graph, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=seed)
+        algo = PushPullBroadcast(
+            source_id=setup.id_of(source_vertex), active_rounds=active_rounds
+        )
+        adversary = Adversary(
+            WakeSchedule.all_at_once(list(graph.vertices())), UnitDelay()
+        )
+        run_wakeup(setup, algo, adversary, engine="sync", seed=seed + 1)
+        return algo
+
+    def test_completes_on_complete_graph_in_log_rounds(self):
+        g = complete_graph(64)
+        algo = self._run(g, 0, seed=1)
+        assert algo.all_informed()
+        assert algo.completion_round() <= 8 * math.log2(64)
+
+    def test_pull_rescues_the_lollipop_pendant(self):
+        """The paper's contrast: with pull available (all-awake
+        broadcast), even the footnote-3 pendant learns the rumor in
+        O(log n) rounds — it pulls from its clique neighbor."""
+        n = 40
+        g = lollipop_graph(n, 1)
+        rounds = []
+        for seed in range(5):
+            algo = self._run(g, 3, seed=seed)
+            assert algo.all_informed()
+            rounds.append(algo.completion_round())
+        assert median(rounds) <= 6 * math.log2(n)
+
+    def test_source_informed_at_round_zero(self):
+        g = complete_graph(10)
+        algo = self._run(g, 4, seed=2)
+        assert algo.informed_at[4] == 0
+
+    def test_incomplete_within_tiny_budget(self):
+        g = connected_erdos_renyi(60, 0.08, seed=5)
+        algo = self._run(g, 0, seed=3, active_rounds=1)
+        assert not algo.all_informed()
+        assert algo.completion_round() is None
+
+
+def test_push_pull_faster_than_push_only_wakeup_on_lollipop():
+    """The headline Sec-1.3 comparison on one instance."""
+    n = 40
+    g = lollipop_graph(n, 1)
+    push = run_push(g, [3], seed=6)
+    setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=6)
+    algo = PushPullBroadcast(source_id=setup.id_of(3))
+    adversary = Adversary(
+        WakeSchedule.all_at_once(list(g.vertices())), UnitDelay()
+    )
+    run_wakeup(setup, algo, adversary, engine="sync", seed=7)
+    assert algo.all_informed()
+    assert algo.completion_round() < push.wake_time[n]

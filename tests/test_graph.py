@@ -1,0 +1,223 @@
+"""Tests for the Graph data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_vertices_only(self):
+        g = Graph([1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_with_isolated(self):
+        g = Graph.from_edges([(1, 2)], vertices=[9])
+        assert g.has_vertex(9)
+        assert g.degree(9) == 0
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert g.num_vertices == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph.from_edges([(1, 2)])
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            g.add_edge(2, 1)
+
+    def test_add_edge_safe(self):
+        g = Graph.from_edges([(1, 2)])
+        assert g.add_edge_safe(1, 2) is False
+        assert g.add_edge_safe(2, 3) is True
+        assert g.num_edges == 2
+
+    def test_add_edge_safe_rejects_self_loop(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge_safe(5, 5)
+
+    def test_hashable_vertex_types(self):
+        g = Graph()
+        g.add_edge(("P", (0, 1)), ("L", (1, 0)))
+        assert g.has_edge(("P", (0, 1)), ("L", (1, 0)))
+
+
+class TestQueries:
+    def test_neighbors_insertion_order(self):
+        g = Graph.from_edges([(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0) == [3, 1, 2]
+
+    def test_neighbors_returns_fresh_list(self):
+        g = Graph.from_edges([(0, 1)])
+        nbrs = g.neighbors(0)
+        nbrs.append(99)
+        assert g.neighbors(0) == [1]
+
+    def test_unknown_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.neighbors(0)
+        with pytest.raises(GraphError):
+            g.degree(0)
+
+    def test_degree(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_degree_extremes(self):
+        g = Graph.from_edges([(0, 1), (0, 2)], vertices=[5])
+        assert g.max_degree() == 2
+        assert g.min_degree() == 0
+        assert g.average_degree() == pytest.approx(2 * 2 / 4)
+
+    def test_empty_degree_extremes(self):
+        g = Graph()
+        assert g.max_degree() == 0
+        assert g.min_degree() == 0
+        assert g.average_degree() == 0.0
+
+    def test_edges_each_once(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        canon = {frozenset(e) for e in edges}
+        assert canon == {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({0, 2}),
+        }
+
+    def test_contains_len_iter(self):
+        g = Graph([1, 2])
+        assert 1 in g
+        assert 3 not in g
+        assert len(g) == 2
+        assert sorted(g) == [1, 2]
+
+    def test_has_edge_missing_vertices(self):
+        g = Graph()
+        assert g.has_edge(1, 2) is False
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+        assert g.has_vertex(0)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([0, 1])
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+
+class TestDerived:
+    def test_copy_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+
+    def test_subgraph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        h = g.subgraph([0, 1, 2])
+        assert h.num_vertices == 3
+        assert h.num_edges == 2
+        assert h.has_edge(0, 1) and h.has_edge(1, 2)
+        assert not h.has_edge(2, 3)
+
+    def test_subgraph_ignores_unknown(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.subgraph([0, 1, 99])
+        assert h.num_vertices == 2
+
+    def test_relabeled(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        h = g.relabeled({0: "a", 1: "b", 2: "c"})
+        assert h.has_edge("a", "b")
+        assert h.has_edge("b", "c")
+        assert h.num_edges == 2
+
+    def test_relabeled_requires_total_map(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled({0: "a"})
+
+    def test_relabeled_requires_injective(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled({0: "a", 1: "a"})
+
+    def test_equality(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        h = Graph.from_edges([(1, 2), (0, 1)])
+        assert g == h
+        h.add_edge(0, 2)
+        assert g != h
+
+    def test_equality_other_type(self):
+        assert Graph() != 42
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=60)
+def test_handshake_lemma(edges):
+    """Sum of degrees equals twice the number of edges, always."""
+    g = Graph()
+    for u, v in edges:
+        g.add_edge_safe(u, v)
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=60)
+def test_adjacency_symmetry(edges):
+    """u in N(v) iff v in N(u)."""
+    g = Graph()
+    for u, v in edges:
+        g.add_edge_safe(u, v)
+    for v in g.vertices():
+        for u in g.neighbors(v):
+            assert v in g.neighbors(u)

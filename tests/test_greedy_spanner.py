@@ -1,0 +1,124 @@
+"""Tests for the deterministic greedy spanner and its use in the
+Theorem-6 scheme."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spanner_advice import LogSpannerAdvice, SpannerAdvice
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    complete_graph,
+    connected_erdos_renyi,
+    cycle_graph,
+    random_tree,
+)
+from repro.graphs.spanner import greedy_spanner, verify_spanner
+from repro.graphs.traversal import girth, is_connected
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+class TestGreedySpanner:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_stretch(self, k):
+        g = connected_erdos_renyi(35, 0.25, seed=k)
+        s = greedy_spanner(g, k)
+        assert verify_spanner(g, s, stretch=2 * k - 1)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_girth_exceeds_2k(self, k):
+        """The greedy invariant: any kept edge closes no cycle of
+        length <= 2k."""
+        g = connected_erdos_renyi(30, 0.3, seed=9)
+        s = greedy_spanner(g, k)
+        assert girth(s) > 2 * k
+
+    def test_size_bound_on_complete_graph(self):
+        """girth > 2k implies <= n^{1+1/k} + n edges (Moore bound)."""
+        n = 40
+        g = complete_graph(n)
+        for k in (2, 3):
+            s = greedy_spanner(g, k)
+            assert s.num_edges <= n ** (1 + 1 / k) + n
+
+    def test_deterministic(self):
+        g = connected_erdos_renyi(25, 0.3, seed=4)
+        assert greedy_spanner(g, 2) == greedy_spanner(g, 2)
+
+    def test_k1_keeps_everything(self):
+        g = cycle_graph(8)
+        assert greedy_spanner(g, 1) == g
+
+    def test_tree_unchanged(self):
+        g = random_tree(20, seed=2)
+        assert greedy_spanner(g, 3) == g
+
+    def test_preserves_connectivity(self):
+        g = connected_erdos_renyi(30, 0.3, seed=8)
+        assert is_connected(greedy_spanner(g, 3))
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            greedy_spanner(complete_graph(4), 0)
+
+    @given(seed=st.integers(0, 300), k=st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_property_stretch_and_girth(self, seed, k):
+        g = connected_erdos_renyi(18, 0.35, seed=seed)
+        s = greedy_spanner(g, k)
+        assert verify_spanner(g, s, stretch=2 * k - 1)
+        assert girth(s) > 2 * k
+
+
+class TestGreedySpannerAdvice:
+    def test_wakes_everyone(self):
+        g = connected_erdos_renyi(60, 0.15, seed=3)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup, SpannerAdvice(k=3, method="greedy"), adversary,
+            engine="async", seed=2,
+        )
+        assert r.all_awake
+
+    def test_fully_deterministic_scheme(self):
+        """Theorem 6 is a *deterministic* advising scheme; the greedy
+        backend delivers identical advice and executions every time."""
+        g = connected_erdos_renyi(40, 0.2, seed=5)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        maps = [
+            SpannerAdvice(k=3, method="greedy").compute_advice(setup)
+            for _ in range(2)
+        ]
+        for v in g.vertices():
+            assert maps[0][v] == maps[1][v]
+
+    def test_log_variant_with_greedy(self):
+        g = connected_erdos_renyi(50, 0.2, seed=7)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup, LogSpannerAdvice(method="greedy"), adversary,
+            engine="async", seed=2,
+        )
+        assert r.all_awake
+        assert r.advice_avg_bits <= 4 * math.log2(50) ** 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            SpannerAdvice(k=2, method="magic")
+
+    def test_greedy_not_larger_than_bs_on_dense(self):
+        """On dense inputs the greedy spanner is at least as sparse as
+        Baswana–Sen for the same k (it is size-optimal for its girth)."""
+        g = complete_graph(40)
+        greedy = SpannerAdvice(k=3, method="greedy")
+        bs = SpannerAdvice(k=3, method="baswana-sen", spanner_seed=1)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        greedy.compute_advice(setup)
+        bs.compute_advice(setup)
+        assert greedy.last_spanner.num_edges <= bs.last_spanner.num_edges

@@ -1,0 +1,102 @@
+"""Tests for the Lazebnik–Ustimenko D(k, q) construction."""
+
+import pytest
+
+from repro.errors import FieldError, GraphError
+from repro.graphs.highgirth import (
+    DkqGraph,
+    dkq_graph,
+    is_prime_power,
+    smallest_prime_power_at_least,
+    usable_prime_powers,
+)
+from repro.graphs.traversal import girth, is_bipartite
+
+INSTANCES = [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (3, 5), (4, 2), (5, 2)]
+
+
+@pytest.mark.parametrize("k,q", INSTANCES)
+class TestStructure:
+    def test_vertex_count(self, k, q):
+        d = dkq_graph(k, q)
+        assert d.graph.num_vertices == 2 * q**k
+        assert len(d.points) == q**k
+        assert len(d.lines) == q**k
+
+    def test_q_regular(self, k, q):
+        d = dkq_graph(k, q)
+        assert all(d.graph.degree(v) == q for v in d.graph.vertices())
+
+    def test_edge_count(self, k, q):
+        # q-regular bipartite with q^k vertices per side.
+        d = dkq_graph(k, q)
+        assert d.graph.num_edges == q ** (k + 1)
+
+    def test_bipartite(self, k, q):
+        d = dkq_graph(k, q)
+        assert is_bipartite(d.graph)
+        for u, v in d.graph.edges():
+            assert {u[0], v[0]} == {"P", "L"}
+
+    def test_girth_guarantee(self, k, q):
+        """[LUW95]: girth >= k + 5 for odd k (k + 4 for even k)."""
+        d = dkq_graph(k, q)
+        assert girth(d.graph) >= d.guaranteed_girth
+
+
+@pytest.mark.parametrize("k,q", [(3, 3), (4, 2), (5, 2)])
+class TestIncidence:
+    def test_line_through_is_incident(self, k, q):
+        d = dkq_graph(k, q)
+        for _, pt in d.points[:10]:
+            for l1 in range(q):
+                ln = d.line_through(pt, l1)
+                assert ln[0] == l1
+                assert d.incident(pt, ln)
+
+    def test_point_on_inverts_line_through(self, k, q):
+        d = dkq_graph(k, q)
+        for _, pt in d.points[:10]:
+            for l1 in range(q):
+                ln = d.line_through(pt, l1)
+                assert d.point_on(ln, pt[0]) == pt
+
+    def test_neighbors_unique_per_first_coordinate(self, k, q):
+        d = dkq_graph(k, q)
+        _, pt = d.points[0]
+        lines = {d.line_through(pt, l1) for l1 in range(q)}
+        assert len(lines) == q
+
+    def test_graph_edges_match_incidence(self, k, q):
+        d = dkq_graph(k, q)
+        for (tp, pt), (tl, ln) in list(d.graph.edges())[:50]:
+            if tp == "L":
+                (tp, pt), (tl, ln) = (tl, ln), (tp, pt)
+            assert d.incident(pt, ln)
+
+
+class TestValidation:
+    def test_k_too_small(self):
+        with pytest.raises(GraphError):
+            dkq_graph(1, 3)
+
+    def test_non_prime_power_q(self):
+        with pytest.raises(FieldError):
+            dkq_graph(3, 6)
+
+    def test_prime_power_helpers(self):
+        assert is_prime_power(9)
+        assert not is_prime_power(12)
+        assert smallest_prime_power_at_least(6) == 7
+        assert smallest_prime_power_at_least(2) == 2
+        assert usable_prime_powers(10) == [2, 3, 4, 5, 7, 8, 9]
+
+
+def test_girth_grows_with_k():
+    """The construction's whole point: deeper coordinates, longer
+    shortest cycles."""
+    g3 = girth(dkq_graph(3, 3).graph)
+    g5 = girth(dkq_graph(5, 2).graph)
+    assert g3 >= 8
+    assert g5 >= 10
+    assert g5 > girth(dkq_graph(2, 2).graph)

@@ -1,0 +1,212 @@
+"""Cross-module integration tests: every algorithm on every workload
+family, model-matrix coverage, and cross-engine consistency."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ChildEncodingAdvice,
+    DfsWakeUp,
+    FastWakeUp,
+    Fip06TreeAdvice,
+    Flooding,
+    LogSpannerAdvice,
+    SpannerAdvice,
+    SqrtThresholdAdvice,
+)
+from repro.graphs.generators import (
+    barbell_graph,
+    caterpillar_graph,
+    connected_erdos_renyi,
+    cycle_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import (
+    Adversary,
+    PerEdgeDelay,
+    UniformRandomDelay,
+    UnitDelay,
+    WakeSchedule,
+)
+from repro.sim.runner import run_wakeup
+
+GRAPHS = {
+    "path": lambda: path_graph(18),
+    "cycle": lambda: cycle_graph(17),
+    "star": lambda: star_graph(19),
+    "grid": lambda: grid_graph(4, 5),
+    "tree": lambda: random_tree(22, seed=6),
+    "er": lambda: connected_erdos_renyi(25, 0.15, seed=8),
+    "barbell": lambda: barbell_graph(6, 4),
+    "lollipop": lambda: lollipop_graph(8, 5),
+    "caterpillar": lambda: caterpillar_graph(5, 3),
+}
+
+KT0_CONGEST_ALGOS = [
+    Flooding,
+    Fip06TreeAdvice,
+    SqrtThresholdAdvice,
+    ChildEncodingAdvice,
+    lambda: SpannerAdvice(k=2),
+    LogSpannerAdvice,
+]
+
+KT1_LOCAL_ALGOS = [DfsWakeUp]
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize(
+    "algo_factory", KT0_CONGEST_ALGOS, ids=lambda f: getattr(f, "name", "spanner2")
+)
+def test_kt0_congest_matrix(graph_name, algo_factory):
+    """Every KT0 CONGEST algorithm wakes every graph family, with the
+    CONGEST cap enforced throughout."""
+    g = GRAPHS[graph_name]()
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+    adversary = Adversary(
+        WakeSchedule.singleton(next(iter(g.vertices()))), UnitDelay()
+    )
+    r = run_wakeup(setup, algo_factory(), adversary, engine="async", seed=2)
+    assert r.all_awake
+    assert r.max_message_bits <= setup.bandwidth.cap_bits
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_kt1_local_matrix(graph_name):
+    g = GRAPHS[graph_name]()
+    setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=1)
+    adversary = Adversary(
+        WakeSchedule.singleton(next(iter(g.vertices()))), UnitDelay()
+    )
+    r = run_wakeup(setup, DfsWakeUp(), adversary, engine="async", seed=2)
+    assert r.all_awake
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_fast_wakeup_matrix(graph_name):
+    g = GRAPHS[graph_name]()
+    setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=1)
+    adversary = Adversary(
+        WakeSchedule.singleton(next(iter(g.vertices()))), UnitDelay()
+    )
+    r = run_wakeup(setup, FastWakeUp(), adversary, engine="sync", seed=2)
+    assert r.all_awake
+
+
+class TestDelayRobustness:
+    """Algorithms must stay correct under every delay strategy the
+    oblivious adversary can field."""
+
+    @pytest.mark.parametrize(
+        "delays",
+        [
+            UnitDelay(),
+            UniformRandomDelay(seed=3),
+            PerEdgeDelay(seed=4),
+        ],
+        ids=["unit", "uniform", "per-edge"],
+    )
+    @pytest.mark.parametrize(
+        "algo_factory",
+        [Flooding, Fip06TreeAdvice, ChildEncodingAdvice],
+        ids=["flooding", "fip06", "cen"],
+    )
+    def test_kt0_under_delays(self, delays, algo_factory):
+        g = connected_erdos_renyi(30, 0.15, seed=12)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        adversary = Adversary(WakeSchedule.random_subset(g, 3, seed=5), delays)
+        r = run_wakeup(setup, algo_factory(), adversary, engine="async", seed=2)
+        assert r.all_awake
+
+    @pytest.mark.parametrize(
+        "delays",
+        [UnitDelay(), UniformRandomDelay(seed=7), PerEdgeDelay(seed=8)],
+        ids=["unit", "uniform", "per-edge"],
+    )
+    def test_dfs_under_delays(self, delays):
+        g = connected_erdos_renyi(30, 0.15, seed=13)
+        setup = make_setup(g, knowledge=Knowledge.KT1, seed=1)
+        adversary = Adversary(WakeSchedule.random_subset(g, 4, seed=6), delays)
+        r = run_wakeup(setup, DfsWakeUp(), adversary, engine="async", seed=2)
+        assert r.all_awake
+
+
+class TestLateWakeups:
+    """The adversary may wake sleeping nodes mid-execution; correctness
+    and permanence must survive it."""
+
+    @pytest.mark.parametrize(
+        "algo_factory,knowledge,bandwidth,engine",
+        [
+            (Flooding, Knowledge.KT0, "CONGEST", "async"),
+            (Fip06TreeAdvice, Knowledge.KT0, "CONGEST", "async"),
+            (ChildEncodingAdvice, Knowledge.KT0, "CONGEST", "async"),
+            (DfsWakeUp, Knowledge.KT1, "LOCAL", "async"),
+            (FastWakeUp, Knowledge.KT1, "LOCAL", "sync"),
+        ],
+        ids=["flooding", "fip06", "cen", "dfs", "fast"],
+    )
+    def test_staggered_schedule(self, algo_factory, knowledge, bandwidth, engine):
+        g = connected_erdos_renyi(40, 0.12, seed=21)
+        verts = list(g.vertices())
+        schedule = WakeSchedule.staggered(
+            [(0.0, [verts[0]]), (3.0, [verts[10]]), (11.0, [verts[20]])]
+        )
+        setup = make_setup(g, knowledge=knowledge, bandwidth=bandwidth, seed=1)
+        r = run_wakeup(
+            setup, algo_factory(), Adversary(schedule, UnitDelay()),
+            engine=engine, seed=2,
+        )
+        assert r.all_awake
+
+
+class TestCrossEngineConsistency:
+    def test_flooding_identical_messages_both_engines(self):
+        """With unit delays, flooding's message count and wake times
+        coincide across engines (sanity of the time normalization)."""
+        g = grid_graph(5, 6)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=3)
+        adversary = Adversary(WakeSchedule.all_at_once([0, 29]), UnitDelay())
+        a = run_wakeup(setup, Flooding(), adversary, engine="async", seed=1)
+        s = run_wakeup(setup, Flooding(), adversary, engine="sync", seed=1)
+        assert a.messages == s.messages
+        for v in g.vertices():
+            assert a.wake_time[v] == pytest.approx(s.wake_time[v])
+
+
+class TestWakeTimeInvariant:
+    """No algorithm can wake a node faster than its hop distance from
+    the awake set (with delays normalized to at most 1)."""
+
+    @pytest.mark.parametrize(
+        "algo_factory,knowledge,bandwidth,engine",
+        [
+            (Flooding, Knowledge.KT0, "CONGEST", "async"),
+            (Fip06TreeAdvice, Knowledge.KT0, "CONGEST", "async"),
+            (ChildEncodingAdvice, Knowledge.KT0, "CONGEST", "async"),
+            (lambda: SpannerAdvice(k=3), Knowledge.KT0, "CONGEST", "async"),
+            (DfsWakeUp, Knowledge.KT1, "LOCAL", "async"),
+            (FastWakeUp, Knowledge.KT1, "LOCAL", "sync"),
+        ],
+        ids=["flooding", "fip06", "cen", "spanner", "dfs", "fast"],
+    )
+    def test_no_faster_than_distance(
+        self, algo_factory, knowledge, bandwidth, engine
+    ):
+        from repro.graphs.traversal import multi_source_bfs
+
+        g = connected_erdos_renyi(35, 0.15, seed=31)
+        awake = [list(g.vertices())[0]]
+        setup = make_setup(g, knowledge=knowledge, bandwidth=bandwidth, seed=2)
+        adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+        r = run_wakeup(setup, algo_factory(), adversary, engine=engine, seed=4)
+        dist = multi_source_bfs(g, awake)
+        for v in g.vertices():
+            assert r.wake_time[v] >= dist[v] - 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the lower-bound graph classes 𝒢 and 𝒢ₖ."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.traversal import girth, is_connected
+from repro.lowerbounds.graph_g import build_class_g, fixed_ids
+from repro.lowerbounds.graph_gk import build_class_gk, verify_fact1
+from repro.models.knowledge import Knowledge
+
+
+class TestClassG:
+    def test_sizes(self):
+        inst = build_class_g(10)
+        assert inst.graph.num_vertices == 30
+        # complete bipartite U x V plus the matching
+        assert inst.graph.num_edges == 100 + 10
+
+    def test_center_degrees(self):
+        inst = build_class_g(8)
+        for v in inst.centers:
+            assert inst.graph.degree(v) == 9  # n + 1
+
+    def test_pendants_have_degree_one(self):
+        inst = build_class_g(8)
+        for w in inst.pendants:
+            assert inst.graph.degree(w) == 1
+
+    def test_matching_is_crucial(self):
+        """w_i's only neighbor is v_i: no one else can wake it."""
+        inst = build_class_g(6)
+        for v, w in inst.matching.items():
+            assert inst.graph.neighbors(w) == [v]
+
+    def test_fixed_ids_are_permutation_of_3n(self):
+        inst = build_class_g(7)
+        ids = fixed_ids(inst)
+        assert sorted(ids.values()) == list(range(1, 22))
+
+    def test_setup_defaults_kt0(self):
+        inst = build_class_g(5)
+        setup = inst.make_setup(seed=1)
+        assert setup.knowledge is Knowledge.KT0
+
+    def test_setup_port_randomness_varies(self):
+        inst = build_class_g(6)
+        a = inst.make_setup(seed=1)
+        b = inst.make_setup(seed=2)
+        v = inst.centers[0]
+        orders_differ = (
+            a.ports.neighbors_in_port_order(v)
+            != b.ports.neighbors_in_port_order(v)
+        )
+        assert orders_differ
+
+    def test_invalid_n(self):
+        with pytest.raises(GraphError):
+            build_class_g(0)
+
+    def test_connected(self):
+        assert is_connected(build_class_g(4).graph)
+
+
+class TestClassGk:
+    @pytest.mark.parametrize("k,q", [(3, 2), (3, 3), (5, 2)])
+    def test_fact1(self, k, q):
+        inst = build_class_gk(k, q)
+        checks = verify_fact1(inst)
+        assert all(checks.values()), checks
+
+    def test_center_degree_formula(self):
+        inst = build_class_gk(3, 3)
+        assert inst.center_degree == 3 + 1  # n^{1/k} + 1
+        for v in inst.centers:
+            assert inst.graph.degree(v) == 4
+
+    def test_edge_count_formula(self):
+        inst = build_class_gk(3, 3)
+        # q^{k+1} core edges + n pendant edges
+        assert inst.graph.num_edges == 3**4 + 27
+
+    def test_girth_preserved_by_pendants(self):
+        inst = build_class_gk(3, 3)
+        assert girth(inst.graph) >= 8
+
+    def test_ids_fixed_for_centers(self):
+        inst = build_class_gk(3, 2)
+        s1 = inst.make_setup(seed=1)
+        s2 = inst.make_setup(seed=99)
+        for j, v in enumerate(inst.centers, start=1):
+            assert s1.id_of(v) == 2 * inst.n + j
+            assert s2.id_of(v) == 2 * inst.n + j
+
+    def test_other_ids_permuted(self):
+        inst = build_class_gk(3, 2)
+        s1 = inst.make_setup(seed=1)
+        s2 = inst.make_setup(seed=2)
+        others = inst.padding + inst.pendants
+        assert sorted(s1.id_of(v) for v in others) == list(
+            range(1, 2 * inst.n + 1)
+        )
+        assert any(s1.id_of(v) != s2.id_of(v) for v in others)
+
+    def test_id_swap(self):
+        inst = build_class_gk(3, 2)
+        a, b = inst.padding[0], inst.pendants[0]
+        plain = inst.make_setup(seed=5)
+        swapped = inst.make_setup(seed=5, id_swap=(a, b))
+        assert plain.id_of(a) == swapped.id_of(b)
+        assert plain.id_of(b) == swapped.id_of(a)
+        # everything else identical
+        for v in inst.padding[1:]:
+            assert plain.id_of(v) == swapped.id_of(v)
+
+    def test_setup_is_kt1(self):
+        inst = build_class_gk(3, 2)
+        assert inst.make_setup(seed=0).knowledge is Knowledge.KT1
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            build_class_gk(1, 3)

@@ -1,0 +1,80 @@
+"""Tests for message payload size accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.messages import Message, bit_size
+
+
+class TestBitSize:
+    def test_none_and_bool(self):
+        assert bit_size(None) == 1
+        assert bit_size(True) == 1
+        assert bit_size(False) == 1
+
+    def test_int_scaling(self):
+        assert bit_size(0) == 2
+        assert bit_size(1) == 2
+        assert bit_size(255) == 9
+        assert bit_size(2**32) == 34
+
+    def test_int_monotone(self):
+        sizes = [bit_size(2**i) for i in range(0, 40, 4)]
+        assert sizes == sorted(sizes)
+
+    def test_float(self):
+        assert bit_size(3.14) == 64
+
+    def test_string_is_constant_tag_cost(self):
+        assert bit_size("wake") == 8
+        assert bit_size("x") == 8
+
+    def test_bytes(self):
+        assert bit_size(b"abc") == 24
+
+    def test_tuple_framing(self):
+        # two ints + 2 bits framing each
+        assert bit_size((1, 1)) == 2 * (2 + 2)
+
+    def test_nested_containers(self):
+        flat = bit_size((1, 2, 3))
+        nested = bit_size(((1, 2, 3),))
+        assert nested == flat + 2
+
+    def test_list_equals_tuple(self):
+        assert bit_size([1, 2]) == bit_size((1, 2))
+
+    def test_set_cost(self):
+        assert bit_size({1, 2}) == bit_size([1, 2])
+
+    def test_dict(self):
+        assert bit_size({1: 2}) == bit_size(1) + bit_size(2) + 4
+
+    def test_id_list_scales_linearly(self):
+        small = bit_size(tuple(range(100, 110)))
+        large = bit_size(tuple(range(100, 200)))
+        assert large > 5 * small
+
+    def test_unmeasurable_payload(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(SimulationError):
+            bit_size(Opaque())
+
+    def test_size_bits_hook(self):
+        class Sized:
+            def size_bits(self):
+                return 17
+
+        assert bit_size(Sized()) == 17
+
+
+class TestMessage:
+    def test_frozen(self):
+        m = Message(
+            src=0, dst=1, dst_port=1, src_port=2, payload=("x",),
+            bits=8, sent_at=0.0, seq=0,
+        )
+        with pytest.raises(AttributeError):
+            m.src = 9  # type: ignore[misc]

@@ -1,0 +1,127 @@
+"""Tests for the Monte-Carlo success-probability tooling."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.montecarlo import (
+    SuccessEstimate,
+    estimate_success,
+    trials_for_separation,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_symmetric_at_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert abs((0.5 - low) - (high - 0.5)) < 1e-9
+
+    def test_extreme_zero(self):
+        low, high = wilson_interval(0, 40)
+        assert low == 0.0
+        assert 0.0 < high < 0.2  # still informative, unlike Wald
+
+    def test_extreme_all(self):
+        low, high = wilson_interval(40, 40)
+        assert high == 1.0
+        assert 0.8 < low < 1.0
+
+    def test_narrows_with_trials(self):
+        w1 = wilson_interval(5, 10)
+        w2 = wilson_interval(500, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_confidence_ordering(self):
+        w90 = wilson_interval(30, 100, confidence=0.90)
+        w99 = wilson_interval(30, 100, confidence=0.99)
+        assert (w99[1] - w99[0]) > (w90[1] - w90[0])
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            wilson_interval(1, 0)
+        with pytest.raises(ReproError):
+            wilson_interval(5, 3)
+        with pytest.raises(ReproError):
+            wilson_interval(1, 10, confidence=0.5)
+
+
+class TestEstimate:
+    def test_deterministic_trial(self):
+        est = estimate_success(lambda s: True, trials=20)
+        assert est.rate == 1.0
+        assert est.high == 1.0
+
+    def test_bernoulli_trial_covers_truth(self):
+        p = 0.7
+
+        def trial(seed: int) -> bool:
+            return random.Random(seed).random() < p
+
+        est = estimate_success(trial, trials=400, seed=3)
+        assert est.low <= p <= est.high
+        assert abs(est.rate - p) < 0.1
+
+    def test_seeds_are_distinct(self):
+        seen = []
+
+        def trial(seed: int) -> bool:
+            seen.append(seed)
+            return True
+
+        estimate_success(trial, trials=10, seed=1)
+        assert len(set(seen)) == 10
+
+    def test_str(self):
+        est = SuccessEstimate(
+            successes=7, trials=10, confidence=0.95, low=0.4, high=0.9
+        )
+        assert "7/10" in str(est)
+
+    def test_zero_trials(self):
+        with pytest.raises(ReproError):
+            estimate_success(lambda s: True, trials=0)
+
+
+class TestPlanning:
+    def test_separation_sizes(self):
+        few = trials_for_separation(0.5, 0.9)
+        many = trials_for_separation(0.5, 0.6)
+        assert many > few
+        assert few >= 10
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            trials_for_separation(0.9, 0.5)
+        with pytest.raises(ReproError):
+            trials_for_separation(0.1, 0.2, confidence=0.42)
+
+
+class TestIntegrationWithStarFailure:
+    def test_star_failure_probability_interval(self):
+        """The Sec-1.3 failure rate, now with an honest interval."""
+        from repro.core.star_broadcast import StarBroadcast
+        from repro.graphs.generators import complete_graph
+        from repro.models.knowledge import Knowledge, make_setup
+        from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+        from repro.sim.runner import run_wakeup
+
+        g = complete_graph(30)
+
+        def trial(seed: int) -> bool:
+            setup = make_setup(g, knowledge=Knowledge.KT1, seed=seed)
+            r = run_wakeup(
+                setup,
+                StarBroadcast(star_probability=0.2, degree_threshold=5.0),
+                Adversary(WakeSchedule.singleton(0), UnitDelay()),
+                engine="async",
+                seed=seed,
+                require_all_awake=False,
+            )
+            return r.all_awake
+
+        est = estimate_success(trial, trials=60, seed=4)
+        # success iff the single woken node sampled star: p = 0.2
+        assert est.low <= 0.2 <= est.high

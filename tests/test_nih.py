@@ -1,0 +1,99 @@
+"""Tests for the NIH problem and the Lemma-1 reduction."""
+
+import pytest
+
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.flooding import Flooding
+from repro.core.prefix_advice import PrefixAdvice
+from repro.lowerbounds.graph_g import build_class_g
+from repro.lowerbounds.graph_gk import build_class_gk
+from repro.lowerbounds.nih import NIHWrapper
+from repro.models.knowledge import Knowledge
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def centers_awake(inst):
+    return Adversary(WakeSchedule.all_at_once(inst.centers), UnitDelay())
+
+
+class TestReductionOnClassG:
+    def test_flooding_yields_correct_nih_outputs(self):
+        inst = build_class_g(12)
+        setup = inst.make_setup(seed=3)
+        wrap = NIHWrapper(Flooding(), inst)
+        run_wakeup(setup, wrap, centers_awake(inst), engine="async", seed=1)
+        assert wrap.correctness(setup) == 1.0
+        # KT0: outputs are ports
+        for v, out in wrap.outputs.items():
+            assert out == setup.ports.port(v, inst.matching[v])
+
+    def test_prefix_advice_yields_correct_nih_outputs(self):
+        inst = build_class_g(12)
+        setup = inst.make_setup(seed=4)
+        wrap = NIHWrapper(PrefixAdvice(beta=2), inst)
+        run_wakeup(setup, wrap, centers_awake(inst), engine="async", seed=1)
+        assert wrap.correctness(setup) == 1.0
+
+    def test_lemma1_overhead_messages(self):
+        """The reduction adds at most one message per pendant contact
+        plus one per other first-contact: <= n extra on class 𝒢 where
+        only pendants matter... measured against the plain run."""
+        inst = build_class_g(10)
+        setup = inst.make_setup(seed=5)
+        plain = run_wakeup(
+            setup, Flooding(), centers_awake(inst), engine="async", seed=1
+        )
+        wrap = NIHWrapper(Flooding(), inst)
+        nih = run_wakeup(
+            setup, wrap, centers_awake(inst), engine="async", seed=1
+        )
+        assert nih.messages <= plain.messages + len(inst.pendants)
+
+    def test_incomplete_algorithm_scores_below_one(self):
+        from repro.sim.node import NodeAlgorithm
+        from repro.core.base import WakeUpAlgorithm, BOTH
+
+        class Mute(WakeUpAlgorithm):
+            name = "mute"
+            synchrony = BOTH
+            congest_safe = True
+
+            def make_node(self, vertex, setup):
+                return NodeAlgorithm()
+
+        inst = build_class_g(8)
+        setup = inst.make_setup(seed=2)
+        wrap = NIHWrapper(Mute(), inst)
+        run_wakeup(
+            setup, wrap, centers_awake(inst), engine="async", seed=1,
+            require_all_awake=False,
+        )
+        assert wrap.correctness(setup) == 0.0
+        assert wrap.outputs == {}
+
+
+class TestReductionOnClassGk:
+    def test_kt1_outputs_are_ids(self):
+        inst = build_class_gk(3, 2)
+        setup = inst.make_setup(seed=7)
+        wrap = NIHWrapper(Flooding(), inst)
+        run_wakeup(setup, wrap, centers_awake(inst), engine="async", seed=1)
+        assert wrap.correctness(setup) == 1.0
+        for v, out in wrap.outputs.items():
+            assert out == setup.id_of(inst.matching[v])
+
+    def test_dfs_rank_solves_nih_on_gk(self):
+        inst = build_class_gk(3, 3)
+        setup = inst.make_setup(seed=8)
+        wrap = NIHWrapper(DfsWakeUp(), inst)
+        run_wakeup(setup, wrap, centers_awake(inst), engine="async", seed=2)
+        assert wrap.correctness(setup) == 1.0
+
+
+def test_wrapper_inherits_declarations():
+    inst = build_class_g(4)
+    wrap = NIHWrapper(DfsWakeUp(), inst)
+    assert wrap.requires_kt1
+    assert not wrap.congest_safe
+    assert wrap.name == "nih(dfs-rank)"

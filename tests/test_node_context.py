@@ -1,0 +1,106 @@
+"""Property tests on the NodeContext contract (the knowledge API every
+algorithm sees)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelViolation, SimulationError
+from repro.graphs.generators import connected_erdos_renyi
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.async_engine import AsyncEngine
+from repro.sim.node import NodeAlgorithm
+
+SETTINGS = dict(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class ContextProbe(NodeAlgorithm):
+    """Inspects its context on wake and records consistency facts."""
+
+    def __init__(self, kt1: bool):
+        self._kt1 = kt1
+        self.facts = {}
+
+    def on_wake(self, ctx):
+        self.facts["degree"] = ctx.degree
+        self.facts["ports"] = list(ctx.ports)
+        self.facts["node_id"] = ctx.node_id
+        self.facts["log_bound"] = ctx.log2_n_bound
+        if self._kt1:
+            nids = ctx.neighbor_ids()
+            self.facts["neighbor_ids"] = nids
+            self.facts["roundtrip"] = all(
+                ctx.port_of(ctx.neighbor_id(p)) == p for p in ctx.ports
+            )
+            self.facts["list_matches_ports"] = nids == [
+                ctx.neighbor_id(p) for p in ctx.ports
+            ]
+        else:
+            try:
+                ctx.neighbor_ids()
+                self.facts["kt0_leak"] = True
+            except ModelViolation:
+                self.facts["kt0_leak"] = False
+        # send API validation
+        try:
+            ctx.send(0, ("x",))
+            self.facts["port_zero_allowed"] = True
+        except SimulationError:
+            self.facts["port_zero_allowed"] = False
+        try:
+            ctx.send(ctx.degree + 1, ("x",))
+            self.facts["port_over_allowed"] = True
+        except SimulationError:
+            self.facts["port_over_allowed"] = False
+
+
+def run_probe(seed: int, knowledge: Knowledge):
+    g = connected_erdos_renyi(15, 0.25, seed=seed)
+    setup = make_setup(g, knowledge=knowledge, seed=seed)
+    nodes = {v: ContextProbe(knowledge is Knowledge.KT1) for v in g.vertices()}
+    adversary = Adversary(
+        WakeSchedule.all_at_once(list(g.vertices())), UnitDelay()
+    )
+    AsyncEngine(setup, nodes, adversary, seed=seed).run()
+    return g, setup, nodes
+
+
+@given(seed=st.integers(0, 5000))
+@settings(**SETTINGS)
+def test_kt1_context_consistency(seed):
+    g, setup, nodes = run_probe(seed, Knowledge.KT1)
+    for v, node in nodes.items():
+        assert node.facts["degree"] == g.degree(v)
+        assert node.facts["ports"] == list(range(1, g.degree(v) + 1))
+        assert node.facts["node_id"] == setup.id_of(v)
+        assert node.facts["roundtrip"]
+        assert node.facts["list_matches_ports"]
+        assert sorted(node.facts["neighbor_ids"]) == sorted(
+            setup.id_of(u) for u in g.neighbors(v)
+        )
+
+
+@given(seed=st.integers(0, 5000))
+@settings(**SETTINGS)
+def test_kt0_context_blocks_ids_and_validates_ports(seed):
+    g, setup, nodes = run_probe(seed, Knowledge.KT0)
+    for node in nodes.values():
+        assert node.facts["kt0_leak"] is False
+        assert node.facts["port_zero_allowed"] is False
+        assert node.facts["port_over_allowed"] is False
+
+
+@given(seed=st.integers(0, 5000))
+@settings(**SETTINGS)
+def test_log_bound_known_to_all(seed):
+    g, setup, nodes = run_probe(seed, Knowledge.KT0)
+    bounds = {node.facts["log_bound"] for node in nodes.values()}
+    assert len(bounds) == 1
+    (bound,) = bounds
+    assert 2 ** bound >= g.num_vertices

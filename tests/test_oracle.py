@@ -1,0 +1,63 @@
+"""Tests for the oracle/AdviceMap layer."""
+
+import pytest
+
+from repro.advice.bits import BitWriter, Bits
+from repro.advice.oracle import AdviceMap, empty_advice
+from repro.errors import AdviceError
+from repro.graphs.generators import path_graph
+from repro.models.knowledge import make_setup
+
+
+class TestAdviceMap:
+    def test_stats(self):
+        m = AdviceMap(
+            {
+                "a": Bits([1, 0, 1]),
+                "b": Bits([1]),
+                "c": Bits(),
+            }
+        )
+        assert m.max_bits == 3
+        assert m.total_bits == 4
+        assert m.average_bits == pytest.approx(4 / 3)
+        stats = m.stats()
+        assert stats["advice_max_bits"] == 3.0
+        assert stats["advice_total_bits"] == 4.0
+
+    def test_empty_map(self):
+        m = AdviceMap({})
+        assert m.max_bits == 0
+        assert m.average_bits == 0.0
+        assert len(m) == 0
+
+    def test_lookup(self):
+        b = Bits([1, 1])
+        m = AdviceMap({"x": b})
+        assert m["x"] == b
+        assert m.get("y") is None
+        assert "x" in m and "y" not in m
+
+    def test_items_iteration(self):
+        m = AdviceMap({"x": Bits([1])})
+        assert dict(m.items()) == {"x": Bits([1])}
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(AdviceError):
+            AdviceMap({"x": "101"})  # type: ignore[dict-item]
+        with pytest.raises(AdviceError):
+            AdviceMap({"x": [1, 0, 1]})  # type: ignore[dict-item]
+
+    def test_bitwriter_values_accepted(self):
+        m = AdviceMap({"x": BitWriter().write_gamma(5).getvalue()})
+        assert m.max_bits == 5
+
+
+class TestEmptyAdvice:
+    def test_zero_bits_everywhere(self):
+        setup = make_setup(path_graph(6), seed=1)
+        m = empty_advice(setup)
+        assert len(m) == 6
+        assert m.total_bits == 0
+        for v in setup.graph.vertices():
+            assert len(m[v]) == 0

@@ -1,0 +1,106 @@
+"""Tests for the Theorem-1 witness prefix-advice scheme."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.prefix_advice import (
+    PrefixAdvice,
+    decode_prefix_advice,
+    encode_prefix_advice,
+    port_bucket,
+)
+from repro.lowerbounds.graph_g import build_class_g
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        bits = encode_prefix_advice(False, 33, 3, [5, 17])
+        is_b, beta, buckets = decode_prefix_advice(bits, 33)
+        assert not is_b
+        assert beta == 3
+        assert buckets == [port_bucket(5, 33, 3), port_bucket(17, 33, 3)]
+
+    def test_broadcaster_flag(self):
+        bits = encode_prefix_advice(True, 10, 0, [])
+        is_b, _, buckets = decode_prefix_advice(bits, 10)
+        assert is_b and buckets == []
+
+    def test_large_beta_pins_unique_bucket(self):
+        # With 2^beta >= degree every bucket holds at most one port.
+        degree, beta = 13, 6
+        buckets = [port_bucket(p, degree, beta) for p in range(1, degree + 1)]
+        assert len(set(buckets)) == degree
+
+    def test_bucket_sizes_balanced(self):
+        degree, beta = 33, 2
+        counts = Counter(
+            port_bucket(p, degree, beta) for p in range(1, degree + 1)
+        )
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixAdvice(beta=-1)
+
+
+class TestOnClassG:
+    def run_g(self, n, beta, seed=0):
+        inst = build_class_g(n)
+        setup = inst.make_setup(seed=seed)
+        adversary = Adversary(
+            WakeSchedule.all_at_once(inst.centers), UnitDelay()
+        )
+        result = run_wakeup(
+            setup, PrefixAdvice(beta=beta), adversary, engine="async",
+            seed=seed + 1,
+        )
+        return inst, result
+
+    @pytest.mark.parametrize("beta", [0, 2, 5])
+    def test_solves_wakeup_on_g(self, beta):
+        _, r = self.run_g(16, beta)
+        assert r.all_awake
+
+    def test_messages_decrease_geometrically_in_beta(self):
+        msgs = []
+        for beta in (0, 1, 2, 3):
+            _, r = self.run_g(32, beta, seed=beta)
+            msgs.append(r.messages)
+        assert msgs == sorted(msgs, reverse=True)
+        # beta=3 should cut the beta=0 traffic by at least 4x
+        assert msgs[3] < msgs[0] / 4
+
+    def test_full_beta_is_linear(self):
+        # beta >= log2(deg): each center probes exactly its pendant.
+        n = 16
+        inst, r = self.run_g(n, beta=10)
+        assert r.messages <= 3 * n + 2
+
+    def test_zero_beta_is_quadratic(self):
+        n = 16
+        _, r = self.run_g(n, beta=0)
+        assert r.messages >= n * n
+
+    def test_advice_grows_linearly_with_beta(self):
+        inst = build_class_g(16)
+        lengths = []
+        for beta in (1, 3, 5):
+            setup = inst.make_setup(seed=1)
+            advice = PrefixAdvice(beta=beta).compute_advice(setup)
+            lengths.append(len(advice[inst.centers[0]]))
+        # beta bucket bits grow linearly; the self-delimiting beta field
+        # adds a few more bits at small values.
+        assert lengths == sorted(lengths)
+        assert lengths[2] - lengths[0] >= 4
+        assert lengths[2] - lengths[1] == 2
+
+    def test_pendants_always_woken_deterministically(self):
+        # The advised bucket always contains the true pendant port, so
+        # every pendant wakes regardless of the port randomness.
+        for seed in range(5):
+            inst, r = self.run_g(12, beta=3, seed=seed)
+            for w in inst.pendants:
+                assert w in r.wake_time

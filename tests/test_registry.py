@@ -1,0 +1,74 @@
+"""Tests for the algorithm registry and the package-level quick_run."""
+
+import pytest
+
+import repro
+from repro.core.base import WakeUpAlgorithm
+from repro.core.registry import (
+    TABLE1_ROWS,
+    algorithm_names,
+    get_algorithm,
+    register,
+)
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in algorithm_names():
+            algo = get_algorithm(name)
+            assert isinstance(algo, WakeUpAlgorithm)
+            assert algo.name  # nonempty
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")
+
+    def test_table1_rows_resolve(self):
+        for row, name in TABLE1_ROWS.items():
+            assert name in algorithm_names(), (row, name)
+
+    def test_register_extension(self):
+        class Custom(WakeUpAlgorithm):
+            name = "custom-test-algo"
+
+        register("custom-test-algo", Custom)
+        try:
+            assert isinstance(get_algorithm("custom-test-algo"), Custom)
+        finally:
+            from repro.core import registry
+
+            registry._REGISTRY.pop("custom-test-algo", None)
+
+    def test_fresh_instances(self):
+        a = get_algorithm("dfs-rank")
+        b = get_algorithm("dfs-rank")
+        assert a is not b
+
+
+class TestQuickRun:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "flooding",
+            "dfs-rank",
+            "fast-wakeup",
+            "fip06-tree-advice",
+            "child-encoding",
+            "spanner-advice",
+            "log-spanner-advice",
+            "sqrt-threshold-advice",
+        ],
+    )
+    def test_quick_run_each_algorithm(self, name):
+        result = repro.quick_run(name, n=40, seed=3)
+        assert result.all_awake
+        assert result.n == 40
+
+    def test_quick_run_is_deterministic(self):
+        a = repro.quick_run("flooding", n=30, seed=5)
+        b = repro.quick_run("flooding", n=30, seed=5)
+        assert a.messages == b.messages
+        assert a.time == b.time
+
+    def test_version(self):
+        assert repro.__version__

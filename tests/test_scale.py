@@ -1,0 +1,69 @@
+"""Scale sanity: the simulator and the message-optimal schemes handle
+thousands of nodes comfortably (these guard against accidental
+quadratic blowups in the engine or the oracles)."""
+
+import time
+
+import pytest
+
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.flooding import Flooding
+from repro.graphs.generators import connected_erdos_renyi, random_tree
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+N = 2000
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_flooding_2000(self):
+        g = connected_erdos_renyi(N, 6.0 / N, seed=1)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        start = time.perf_counter()
+        r = run_wakeup(
+            setup, Flooding(),
+            Adversary(WakeSchedule.singleton(0), UnitDelay()),
+            engine="async",
+        )
+        elapsed = time.perf_counter() - start
+        assert r.all_awake
+        assert r.messages == 2 * g.num_edges
+        assert elapsed < 30
+
+    def test_cen_2000(self):
+        g = connected_erdos_renyi(N, 6.0 / N, seed=2)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        r = run_wakeup(
+            setup, ChildEncodingAdvice(),
+            Adversary(WakeSchedule.singleton(0), UnitDelay()),
+            engine="async",
+        )
+        assert r.all_awake
+        assert r.messages <= 3 * (N - 1)
+        assert r.advice_max_bits <= 60
+
+    def test_fip06_2000(self):
+        g = random_tree(N, seed=3)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        r = run_wakeup(
+            setup, Fip06TreeAdvice(),
+            Adversary(WakeSchedule.singleton(0), UnitDelay()),
+            engine="async",
+        )
+        assert r.all_awake
+        assert r.messages <= 2 * (N - 1)
+
+    def test_dfs_2000_single_origin(self):
+        g = connected_erdos_renyi(N, 5.0 / N, seed=4)
+        setup = make_setup(g, knowledge=Knowledge.KT1, bandwidth="LOCAL", seed=1)
+        r = run_wakeup(
+            setup, DfsWakeUp(),
+            Adversary(WakeSchedule.singleton(0), UnitDelay()),
+            engine="async",
+        )
+        assert r.all_awake
+        assert r.messages <= 2 * (N - 1)

@@ -1,0 +1,101 @@
+"""Property suites over the advising schemes: correctness for *every*
+start vertex and *every* port randomization hypothesis throws at them.
+
+These are the strongest correctness statements in the suite — an
+advising scheme must work for the worst-case awake set (the adversary
+picks it after the oracle has committed), so per-start exhaustiveness
+on random topologies is the right test shape.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.child_encoding import ChildEncodingAdvice
+from repro.core.fip06 import Fip06TreeAdvice
+from repro.core.spanner_advice import SpannerAdvice
+from repro.core.sqrt_advice import SqrtThresholdAdvice
+from repro.graphs.generators import connected_erdos_renyi, random_tree
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+SETTINGS = dict(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def all_starts_work(graph, algorithm_factory, seed: int) -> None:
+    """Assert the scheme wakes everyone from every possible single
+    adversary-chosen start (the oracle runs once; the adversary then
+    picks any start)."""
+    setup = make_setup(
+        graph, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=seed
+    )
+    algo = algorithm_factory()
+    advice = algo.compute_advice(setup)
+    committed = setup.with_advice(dict(advice.items()))
+    for start in graph.vertices():
+        adversary = Adversary(WakeSchedule.singleton(start), UnitDelay())
+        result = run_wakeup(
+            committed, algorithm_factory(), adversary, engine="async",
+            seed=seed,
+        )
+        assert result.all_awake, f"failed from start {start!r}"
+
+
+@given(seed=st.integers(0, 3000), n=st.integers(4, 18))
+@settings(**SETTINGS)
+def test_fip06_every_start(seed, n):
+    g = connected_erdos_renyi(n, 3.0 / n, seed=seed)
+    all_starts_work(g, Fip06TreeAdvice, seed)
+
+
+@given(seed=st.integers(0, 3000), n=st.integers(4, 18))
+@settings(**SETTINGS)
+def test_cen_every_start(seed, n):
+    g = connected_erdos_renyi(n, 3.0 / n, seed=seed)
+    all_starts_work(g, ChildEncodingAdvice, seed)
+
+
+@given(seed=st.integers(0, 3000), n=st.integers(4, 16))
+@settings(**SETTINGS)
+def test_cen_every_start_on_trees(seed, n):
+    g = random_tree(n, seed=seed)
+    all_starts_work(g, ChildEncodingAdvice, seed)
+
+
+@given(seed=st.integers(0, 3000), n=st.integers(4, 16))
+@settings(**SETTINGS)
+def test_sqrt_threshold_every_start(seed, n):
+    g = connected_erdos_renyi(n, 3.0 / n, seed=seed)
+    all_starts_work(g, SqrtThresholdAdvice, seed)
+
+
+@given(seed=st.integers(0, 3000), n=st.integers(5, 15))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_spanner_advice_every_start(seed, n):
+    g = connected_erdos_renyi(n, 4.0 / n, seed=seed)
+    all_starts_work(g, lambda: SpannerAdvice(k=2, spanner_seed=seed), seed)
+
+
+@given(seed=st.integers(0, 3000))
+@settings(**SETTINGS)
+def test_oracle_is_awake_set_oblivious(seed):
+    """The oracle's output cannot depend on which nodes the adversary
+    wakes: computing advice twice around different runs yields
+    identical bits (structural obliviousness check)."""
+    g = connected_erdos_renyi(14, 0.3, seed=seed)
+    setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=seed)
+    before = ChildEncodingAdvice().compute_advice(setup)
+    adversary = Adversary(
+        WakeSchedule.random_subset(g, 3, seed=seed), UnitDelay()
+    )
+    run_wakeup(setup, ChildEncodingAdvice(), adversary, engine="async", seed=1)
+    after = ChildEncodingAdvice().compute_advice(setup)
+    for v in g.vertices():
+        assert before[v] == after[v]

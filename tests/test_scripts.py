@@ -1,0 +1,58 @@
+"""Smoke tests for the repository scripts."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+SCRIPTS = pathlib.Path(__file__).resolve().parent.parent / "scripts"
+
+
+def run_script(name: str, *args: str, timeout: int = 400):
+    result = subprocess.run(
+        [sys.executable, str(SCRIPTS / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    return result
+
+
+class TestGenApiDocs:
+    def test_generates_markdown(self, tmp_path):
+        out = tmp_path / "api.md"
+        result = run_script("gen_api_docs.py", "--out", str(out))
+        assert result.returncode == 0, result.stderr[-1000:]
+        text = out.read_text()
+        assert "# API reference" in text
+        assert "`repro.sim.async_engine`" in text
+        assert "`repro.core.dfs_wakeup`" in text
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.md", tmp_path / "b.md"
+        assert run_script("gen_api_docs.py", "--out", str(a)).returncode == 0
+        assert run_script("gen_api_docs.py", "--out", str(b)).returncode == 0
+        assert a.read_text() == b.read_text()
+
+
+class TestRegenExperiments:
+    def test_writes_result_files(self, tmp_path):
+        result = run_script(
+            "regen_experiments.py", "--outdir", str(tmp_path)
+        )
+        assert result.returncode == 0, result.stderr[-1000:]
+        files = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert "table1.json" in files
+        assert "theorem1_frontier.json" in files
+        payload = json.loads((tmp_path / "corollary1.json").read_text())
+        assert payload["experiment"] == "corollary1"
+        assert len(payload["records"]) == 4
+
+    def test_compare_mode_clean_on_rerun(self, tmp_path):
+        first = run_script("regen_experiments.py", "--outdir", str(tmp_path))
+        assert first.returncode == 0
+        second = run_script(
+            "regen_experiments.py", "--outdir", str(tmp_path), "--compare"
+        )
+        assert second.returncode == 0, second.stdout[-1000:]
+        assert "DRIFT" not in second.stdout

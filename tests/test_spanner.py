@@ -1,0 +1,134 @@
+"""Tests for spanner construction (Baswana–Sen and tree spanners)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    complete_graph,
+    connected_erdos_renyi,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+from repro.graphs.spanner import (
+    baswana_sen_spanner,
+    bfs_tree_spanner,
+    verify_spanner,
+)
+from repro.graphs.traversal import is_connected
+
+
+class TestTreeSpanner:
+    def test_spanning_edge_count(self):
+        g = connected_erdos_renyi(30, 0.2, seed=1)
+        t = bfs_tree_spanner(g)
+        assert t.num_vertices == g.num_vertices
+        assert t.num_edges == g.num_vertices - 1
+        assert is_connected(t)
+
+    def test_subgraph_of_original(self):
+        g = grid_graph(5, 5)
+        t = bfs_tree_spanner(g)
+        for u, v in t.edges():
+            assert g.has_edge(u, v)
+
+    def test_disconnected_gives_forest(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        t = bfs_tree_spanner(g)
+        assert t.num_edges == 2
+
+    def test_of_tree_is_identity(self):
+        g = random_tree(20, seed=3)
+        t = bfs_tree_spanner(g)
+        assert t == g
+
+
+class TestBaswanaSen:
+    def test_k1_is_whole_graph(self):
+        g = complete_graph(8)
+        s = baswana_sen_spanner(g, 1, seed=0)
+        assert s == g
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            baswana_sen_spanner(complete_graph(3), 0)
+
+    def test_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        assert baswana_sen_spanner(Graph(), 2).num_vertices == 0
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stretch_guarantee(self, k, seed):
+        g = connected_erdos_renyi(40, 0.25, seed=seed)
+        s = baswana_sen_spanner(g, k, seed=seed)
+        assert verify_spanner(g, s, stretch=2 * k - 1)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_stretch_on_dense_graph(self, seed):
+        g = complete_graph(30)
+        s = baswana_sen_spanner(g, 2, seed=seed)
+        assert verify_spanner(g, s, stretch=3)
+
+    def test_preserves_connectivity(self):
+        for seed in range(4):
+            g = connected_erdos_renyi(35, 0.3, seed=seed)
+            s = baswana_sen_spanner(g, 3, seed=seed)
+            assert is_connected(s)
+
+    def test_sparsification_on_dense_input(self):
+        """On K_n the (2k-1)-spanner must drop most edges."""
+        n = 40
+        g = complete_graph(n)
+        sizes = []
+        for seed in range(5):
+            s = baswana_sen_spanner(g, 2, seed=seed)
+            sizes.append(s.num_edges)
+        avg = sum(sizes) / len(sizes)
+        # Expected O(k * n^{1.5}) = O(2 * 253); K_40 has 780 edges.
+        assert avg < g.num_edges * 0.95
+        assert avg < 3 * 2 * n**1.5
+
+    def test_k_large_approaches_sparse(self):
+        g = complete_graph(30)
+        s_small_k = baswana_sen_spanner(g, 2, seed=1)
+        s_big_k = baswana_sen_spanner(g, 5, seed=1)
+        assert s_big_k.num_edges <= s_small_k.num_edges * 1.5
+
+    def test_deterministic_given_seed(self):
+        g = connected_erdos_renyi(25, 0.3, seed=9)
+        a = baswana_sen_spanner(g, 3, seed=5)
+        b = baswana_sen_spanner(g, 3, seed=5)
+        assert a == b
+
+
+class TestVerifySpanner:
+    def test_detects_non_subgraph(self):
+        g = path_graph(4)
+        from repro.graphs.graph import Graph
+
+        fake = Graph.from_edges([(0, 3)], vertices=[1, 2])
+        assert not verify_spanner(g, fake, stretch=10)
+
+    def test_detects_stretch_violation(self):
+        g = cycle_graph(10)
+        t = bfs_tree_spanner(g)  # a path: antipodal edge stretched to 9
+        assert not verify_spanner(g, t, stretch=2)
+        assert verify_spanner(g, t, stretch=9)
+
+
+@given(seed=st.integers(0, 200), k=st.integers(2, 4))
+@settings(max_examples=20, deadline=None)
+def test_spanner_property(seed, k):
+    """Property: BS output is always a subgraph (2k-1)-spanner."""
+    g = connected_erdos_renyi(20, 0.3, seed=seed)
+    s = baswana_sen_spanner(g, k, seed=seed)
+    assert verify_spanner(g, s, stretch=2 * k - 1)

@@ -1,0 +1,147 @@
+"""Tests for the Theorem-6 / Corollary-2 spanner advising schemes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spanner_advice import (
+    LogSpannerAdvice,
+    SpannerAdvice,
+    TreeSpannerAdvice,
+    decode_spanner_advice,
+    encode_spanner_advice,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    connected_erdos_renyi,
+    grid_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.traversal import awake_distance
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def run_scheme(graph, awake, algo, seed=0):
+    setup = make_setup(graph, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=seed)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    return run_wakeup(setup, algo, adversary, engine="async", seed=seed + 1)
+
+
+opt_port = st.one_of(st.none(), st.integers(1, 10**4))
+
+
+@given(
+    first=opt_port,
+    entries=st.lists(
+        st.tuples(st.integers(1, 10**4), opt_port, opt_port), max_size=10
+    ),
+)
+@settings(max_examples=60)
+def test_spanner_advice_roundtrip(first, entries):
+    # host ports must be unique per node for the dict decoding
+    seen = set()
+    uniq = []
+    for hp, a, b in entries:
+        if hp not in seen:
+            seen.add(hp)
+            uniq.append((hp, a, b))
+    bits = encode_spanner_advice(first, uniq)
+    dec_first, dec_entries = decode_spanner_advice(bits)
+    assert dec_first == first
+    assert dec_entries == {hp: (a, b) for hp, a, b in uniq}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_all_awake(self, k):
+        g = connected_erdos_renyi(50, 0.15, seed=k)
+        r = run_scheme(g, [0], SpannerAdvice(k=k))
+        assert r.all_awake
+
+    def test_log_variant(self):
+        g = connected_erdos_renyi(60, 0.12, seed=5)
+        r = run_scheme(g, [0, 30], LogSpannerAdvice())
+        assert r.all_awake
+
+    def test_tree_ablation_variant(self):
+        g = grid_graph(6, 6)
+        r = run_scheme(g, [0], TreeSpannerAdvice())
+        assert r.all_awake
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: star_graph(40),
+            lambda: complete_graph(25),
+            lambda: random_tree(50, seed=1),
+        ],
+    )
+    def test_structured_graphs(self, graph_factory):
+        g = graph_factory()
+        r = run_scheme(g, [next(iter(g.vertices()))], SpannerAdvice(k=3))
+        assert r.all_awake
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SpannerAdvice(k=0)
+
+
+class TestBounds:
+    def test_messages_proportional_to_spanner_size(self):
+        """Each spanner edge carries O(1) messages (probe + next in
+        each direction at most)."""
+        g = complete_graph(40)
+        algo = SpannerAdvice(k=2)
+        r = run_scheme(g, list(g.vertices()), algo)
+        spanner_edges = algo.last_spanner.num_edges
+        assert r.messages <= 4 * spanner_edges
+
+    def test_beats_flooding_on_dense_graph(self):
+        from repro.core.flooding import Flooding
+
+        g = complete_graph(50)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        adversary = Adversary(
+            WakeSchedule.all_at_once(list(g.vertices())), UnitDelay()
+        )
+        spanner = run_wakeup(
+            setup, SpannerAdvice(k=2), adversary, engine="async", seed=2
+        )
+        flood = run_wakeup(setup, Flooding(), adversary, engine="async", seed=2)
+        assert spanner.messages < flood.messages / 2
+
+    def test_time_scales_with_stretch_times_rho(self):
+        g = grid_graph(8, 8)
+        rho = awake_distance(g, [0])
+        k = 3
+        r = run_scheme(g, [0], SpannerAdvice(k=k))
+        n = g.num_vertices
+        assert r.time_all_awake <= 4 * (2 * k - 1) * rho * math.log2(n)
+
+    def test_log_spanner_advice_polylog(self):
+        for n in (64, 256):
+            g = connected_erdos_renyi(n, 8.0 / n, seed=n)
+            setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+            advice = LogSpannerAdvice().compute_advice(setup)
+            # average O(log^2 n) bits
+            assert advice.average_bits <= 4 * math.log2(n) ** 2
+
+    def test_congest_safe(self):
+        g = complete_graph(30)
+        setup = make_setup(g, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=1)
+        r = run_scheme(g, [0], SpannerAdvice(k=2))
+        assert r.max_message_bits <= setup.bandwidth.cap_bits
+
+    def test_higher_k_means_fewer_messages_on_dense(self):
+        g = complete_graph(60)
+        msgs = {}
+        for k in (2, 4):
+            algo = SpannerAdvice(k=k, spanner_seed=1)
+            r = run_scheme(g, list(g.vertices()), algo, seed=1)
+            msgs[k] = r.messages
+        assert msgs[4] <= msgs[2]

@@ -1,0 +1,93 @@
+"""Tests for the Theorem-5A sqrt-threshold advising scheme."""
+
+import math
+
+import pytest
+
+from repro.core.sqrt_advice import SqrtThresholdAdvice, decode, encode_high, encode_low
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_graph,
+    connected_erdos_renyi,
+    grid_graph,
+    star_graph,
+)
+from repro.graphs.traversal import diameter
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def run_scheme(graph, awake, seed=0, threshold=None):
+    setup = make_setup(graph, knowledge=Knowledge.KT0, bandwidth="CONGEST", seed=seed)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    return run_wakeup(
+        setup,
+        SqrtThresholdAdvice(threshold=threshold),
+        adversary,
+        engine="async",
+        seed=seed + 1,
+    )
+
+
+class TestEncoding:
+    def test_low_roundtrip(self):
+        bits = encode_low([2, 5, 9], 12)
+        assert decode(bits, 12) == [2, 5, 9]
+
+    def test_high_is_single_bit(self):
+        bits = encode_high()
+        assert len(bits) == 1
+        assert decode(bits, 50) is None
+
+
+class TestSchemeShape:
+    def test_star_center_gets_one_bit(self):
+        """The star center is a high-degree tree node: 1-bit advice."""
+        g = star_graph(100)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        advice = SqrtThresholdAdvice().compute_advice(setup)
+        assert len(advice[0]) == 1
+        # Leaves carry their (single) tree port: O(log n) bits.
+        assert all(len(advice[v]) <= 20 for v in range(1, 100))
+
+    def test_max_advice_sqrt_bound(self):
+        for n in (64, 144):
+            g = connected_erdos_renyi(n, 8.0 / n, seed=n)
+            setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+            advice = SqrtThresholdAdvice().compute_advice(setup)
+            bound = 4 * math.isqrt(n) * math.log2(n) + 16
+            assert advice.max_bits <= bound
+
+    def test_messages_at_most_n_sqrt_n(self):
+        g = caterpillar_graph(5, 40)  # spine nodes are high-degree
+        n = g.num_vertices
+        r = run_scheme(g, [0], threshold=3)
+        assert r.all_awake
+        # high-degree nodes broadcast: still bounded by beta*maxdeg + 2n
+        assert r.messages <= 5 * g.max_degree() + 2 * n
+
+    def test_low_threshold_reduces_to_broadcast_everywhere(self):
+        g = complete_graph(15)
+        r = run_scheme(g, [0], threshold=0)
+        assert r.all_awake
+        assert r.messages == 15 * 14  # every node broadcast
+
+    def test_huge_threshold_reduces_to_tree_flood(self):
+        g = complete_graph(15)
+        r = run_scheme(g, [0], threshold=10**6)
+        assert r.all_awake
+        assert r.messages <= 2 * 14
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_awake(self, seed):
+        g = connected_erdos_renyi(45, 0.12, seed=seed)
+        r = run_scheme(g, [0], seed=seed)
+        assert r.all_awake
+
+    def test_time_order_diameter(self):
+        g = grid_graph(8, 8)
+        r = run_scheme(g, [0])
+        assert r.time_all_awake <= 2 * diameter(g) + 1

@@ -1,0 +1,83 @@
+"""Tests for the Sec-1.3 star-sampling failure demonstration."""
+
+import pytest
+
+from repro.core.star_broadcast import StarBroadcast
+from repro.errors import WakeUpFailure
+from repro.graphs.generators import complete_graph, star_graph
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+
+def run_star(graph, awake, seed=0, p=None, thresh=None):
+    setup = make_setup(graph, knowledge=Knowledge.KT1, bandwidth="CONGEST", seed=seed)
+    adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
+    return run_wakeup(
+        setup,
+        StarBroadcast(star_probability=p, degree_threshold=thresh),
+        adversary,
+        engine="async",
+        seed=seed + 1,
+        require_all_awake=False,
+    )
+
+
+def test_single_high_degree_wake_fails_whp():
+    """The Sec-1.3 attack: wake one high-degree node; with the star
+    probability forced to ~0 it stays silent and the run fails."""
+    g = complete_graph(30)
+    r = run_star(g, [0], p=0.0, thresh=5.0)
+    assert not r.all_awake
+    assert len(r.asleep) == 29
+    assert r.messages == 0
+
+
+def test_star_always_broadcasts():
+    g = complete_graph(20)
+    r = run_star(g, [0], p=1.0, thresh=5.0)
+    assert r.all_awake
+
+
+def test_low_degree_nodes_exempt_from_silence():
+    """Nodes under the degree threshold may talk even as non-stars."""
+    g = star_graph(20)  # leaves have degree 1
+    r = run_star(g, [5], p=0.0, thresh=5.0)
+    assert r.all_awake  # leaf broadcasts; center relays
+
+
+def test_failure_rate_matches_star_probability():
+    """Empirical failure rate ~ 1 - p when a single high-degree node is
+    woken."""
+    g = complete_graph(25)
+    p = 0.3
+    fails = 0
+    trials = 40
+    for seed in range(trials):
+        r = run_star(g, [0], seed=seed, p=p, thresh=5.0)
+        if not r.all_awake:
+            fails += 1
+    rate = fails / trials
+    assert 0.4 <= rate <= 0.95  # ~0.7 expected
+
+
+def test_all_awake_assumption_rescues_it():
+    """Under the all-awake assumption of the original MST setting the
+    algorithm works fine — the failure is adversarial-wake-up-specific."""
+    g = complete_graph(25)
+    r = run_star(g, list(g.vertices()), p=0.0, thresh=5.0)
+    # Everyone is awake by assumption, so "wake-up" is trivially solved.
+    assert r.all_awake
+
+
+def test_runner_raises_when_strict():
+    g = complete_graph(10)
+    setup = make_setup(g, knowledge=Knowledge.KT1, seed=1)
+    adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+    with pytest.raises(WakeUpFailure):
+        run_wakeup(
+            setup,
+            StarBroadcast(star_probability=0.0, degree_threshold=2.0),
+            adversary,
+            engine="async",
+        )

@@ -1,0 +1,107 @@
+"""Tests for experiment result persistence."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.storage import (
+    FORMAT_VERSION,
+    compare_records,
+    load_records,
+    save_records,
+)
+
+
+@dataclass
+class Row:
+    n: int
+    messages: float
+
+
+class TestSaveLoad:
+    def test_roundtrip_dataclasses(self, tmp_path):
+        path = tmp_path / "out.json"
+        save_records(
+            path, [Row(10, 20.0), Row(20, 41.0)], experiment="x",
+            params={"sizes": [10, 20]},
+        )
+        payload = load_records(path)
+        assert payload["experiment"] == "x"
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["records"] == [
+            {"n": 10, "messages": 20.0},
+            {"n": 20, "messages": 41.0},
+        ]
+        assert payload["params"] == {"sizes": [10, 20]}
+        assert "python" in payload["environment"]
+
+    def test_roundtrip_dicts_and_exotics(self, tmp_path):
+        path = tmp_path / "out.json"
+        save_records(
+            path,
+            [{"a": (1, 2), "b": frozenset({3}), "c": None}],
+            experiment="y",
+        )
+        rec = load_records(path)["records"][0]
+        assert rec["a"] == [1, 2]
+        assert rec["b"] == ["3"]
+        assert rec["c"] is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_records(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_records(p)
+
+    def test_version_mismatch(self, tmp_path):
+        p = tmp_path / "old.json"
+        p.write_text(json.dumps({"format_version": 99, "records": []}))
+        with pytest.raises(ReproError):
+            load_records(p)
+
+
+class TestCompare:
+    def _payload(self, values):
+        return {"records": [{"messages": v} for v in values]}
+
+    def test_no_drift(self):
+        drifts = compare_records(
+            self._payload([100, 200]), self._payload([110, 190]),
+            key="messages",
+        )
+        assert drifts == []
+
+    def test_detects_drift(self):
+        drifts = compare_records(
+            self._payload([100]), self._payload([200]), key="messages"
+        )
+        assert len(drifts) == 1
+        assert "drifted" in drifts[0]
+
+    def test_detects_count_change(self):
+        drifts = compare_records(
+            self._payload([1]), self._payload([1, 2]), key="messages"
+        )
+        assert any("count" in d for d in drifts)
+
+    def test_ignores_non_numeric(self):
+        old = {"records": [{"messages": "n/a"}]}
+        new = {"records": [{"messages": 5}]}
+        assert compare_records(old, new, key="messages") == []
+
+    def test_tolerance(self):
+        drifts = compare_records(
+            self._payload([100]), self._payload([120]),
+            key="messages", tolerance=0.1,
+        )
+        assert drifts
+        assert not compare_records(
+            self._payload([100]), self._payload([120]),
+            key="messages", tolerance=0.3,
+        )

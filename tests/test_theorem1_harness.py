@@ -1,0 +1,111 @@
+"""Tests for the Theorem-1 empirical harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.information import mutual_information
+from repro.lowerbounds.theorem1 import (
+    advice_port_samples,
+    run_prefix_tradeoff,
+    small_port_usage_fraction,
+    theorem1_message_bound,
+)
+
+
+class TestBoundFormula:
+    def test_formula(self):
+        assert theorem1_message_bound(64, 0) == pytest.approx(
+            64**2 / (16 * 6)
+        )
+
+    def test_monotone_decreasing_in_beta(self):
+        vals = [theorem1_message_bound(128, b) for b in range(7)]
+        assert vals == sorted(vals, reverse=True)
+
+
+class TestTradeoffFrontier:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_prefix_tradeoff(
+            n=24, betas=[0, 1, 2, 3, 4], trials=2, seed=1
+        )
+
+    def test_messages_monotone_in_beta(self, points):
+        msgs = [p.messages for p in points]
+        assert msgs == sorted(msgs, reverse=True)
+
+    def test_advice_monotone_in_beta(self, points):
+        adv = [p.advice_avg_bits for p in points]
+        assert adv == sorted(adv)
+
+    def test_product_roughly_constant(self, points):
+        """messages * 2^beta stays within a small factor of n^2 — the
+        executable statement of the Theorem-1 frontier.  (The +n
+        broadcaster overhead inflates large-beta points slightly.)"""
+        products = [p.product - p.n * 2**p.beta for p in points]
+        base = products[0]
+        for prod in products:
+            assert prod >= base / 4
+            assert prod <= base * 4
+
+    def test_all_points_beat_nothing_below_bound_with_tiny_advice(self, points):
+        """No point has both messages below the Theorem-1 threshold AND
+        advice below Omega(beta) — the lower bound is never violated."""
+        for p in points:
+            if p.messages <= theorem1_message_bound(p.n, p.beta):
+                # Theorem 1: average advice must be Omega(beta); our
+                # constant is 1/6 * (beta - 2 - o(1)).
+                assert p.advice_avg_bits >= (p.beta - 2) / 6
+
+
+class TestPortUsage:
+    def test_large_beta_means_few_ports(self):
+        # beta must stay <= log2 n for the Sml threshold n/2^beta to be
+        # meaningful (the same restriction Theorem 1 itself imposes).
+        frac_small = small_port_usage_fraction(64, beta=4, seed=0)
+        # every center except the designated broadcaster is small
+        assert frac_small >= 1.0 - 2 / 64
+
+    def test_zero_beta_means_many_ports(self):
+        frac_small = small_port_usage_fraction(24, beta=0, seed=0)
+        # With beta=0 every center probes all deg = n + 1 ports, which
+        # exceeds the Sml threshold of n / 2^0 = n: no center is small.
+        assert frac_small == 0.0
+
+    def test_intermediate_beta_partial(self):
+        # beta=1: centers probe about half their ports (threshold n/2);
+        # roughly half the centers land under the threshold.
+        frac = small_port_usage_fraction(24, beta=1, seed=0)
+        assert 0.2 <= frac <= 0.9
+
+    def test_fraction_monotone_in_beta(self):
+        fracs = [
+            small_port_usage_fraction(24, beta=b, seed=0) for b in (1, 2, 3)
+        ]
+        assert fracs == sorted(fracs)
+
+
+class TestInformationAccounting:
+    def test_advice_carries_about_beta_bits(self):
+        """I[X_i : advice_i] grows with beta and is <= beta + O(1):
+        the executable version of the Lemma-3 entropy argument."""
+        mis = []
+        for beta in (0, 2, 4):
+            pairs = advice_port_samples(
+                n=16, beta=beta, samples=400, seed=beta
+            )
+            mis.append(mutual_information(pairs))
+        assert mis[0] == pytest.approx(0.0, abs=0.05)
+        assert mis[1] > 1.0  # ~2 bits minus estimation bias
+        assert mis[2] > mis[1]
+        for beta, mi in zip((0, 2, 4), mis):
+            assert mi <= beta + 0.6
+
+    def test_port_marginal_is_near_uniform(self):
+        from repro.analysis.information import entropy
+
+        pairs = advice_port_samples(n=16, beta=0, samples=600, seed=9)
+        xs = [x for x, _ in pairs]
+        # H[X_i] should approach log2(deg) = log2(17).
+        assert entropy(xs) > 0.9 * math.log2(17)

@@ -1,0 +1,113 @@
+"""Tests for the Theorem-2 empirical harness (time-restricted message
+complexity on 𝒢ₖ and the Lemma-5/6 indistinguishability check)."""
+
+import math
+
+import pytest
+
+from repro.core.dfs_wakeup import DfsWakeUp
+from repro.core.flooding import Flooding
+from repro.lowerbounds.graph_gk import build_class_gk
+from repro.lowerbounds.theorem2 import (
+    OneShotProbe,
+    TranscriptFlooding,
+    id_swap_transcript_check,
+    run_time_restricted,
+)
+
+
+class TestOneShotProbe:
+    def test_messages_exactly_sum_of_center_degrees(self):
+        point = run_time_restricted(3, 3, OneShotProbe(), seed=1)
+        inst_n = 27
+        assert point.messages == inst_n * (3 + 1)
+
+    def test_time_is_one_unit(self):
+        point = run_time_restricted(3, 2, OneShotProbe(), seed=1)
+        assert point.time <= 1.0 + 1e-9
+
+    def test_matches_lower_bound_shape(self):
+        """one-shot messages / n^{1+1/k} is a constant near 1."""
+        for q in (2, 3, 4):
+            point = run_time_restricted(3, q, OneShotProbe(), seed=q)
+            ratio = point.messages / point.lb_bound
+            assert 0.9 <= ratio <= 2.5
+
+
+class TestTimeRestrictionNecessity:
+    def test_dfs_beats_edge_traffic_with_more_time(self):
+        """Theorem 3's algorithm undercuts the Theta(m) = Theta(n^{1+1/k})
+        traffic of instant flooding, demonstrating why Theorem 2 must
+        restrict time.  (At laptop scale n^{1/k} barely exceeds log n,
+        so we compare against flooding, whose cost the lower bound
+        matches asymptotically, rather than the leaner one-shot probe.)"""
+        k, q = 3, 5  # n = 125 per side
+        flood = run_time_restricted(k, q, Flooding(), seed=2)
+        dfs = run_time_restricted(k, q, DfsWakeUp(), seed=2)
+        total_nodes = 3 * dfs.n
+        assert dfs.messages < flood.messages
+        assert dfs.messages <= 8 * total_nodes * math.log(total_nodes)
+        # ...but pays in time:
+        assert dfs.time > 10 * flood.time
+
+    def test_flooding_is_fast_but_heavy(self):
+        k, q = 3, 3
+        flood = run_time_restricted(k, q, Flooding(), seed=3)
+        inst = build_class_gk(k, q)
+        assert flood.messages == 2 * inst.graph.num_edges
+        assert flood.time <= k + 2
+
+
+class TestIdSwapIndistinguishability:
+    @pytest.mark.parametrize("k,q", [(3, 2), (3, 3)])
+    def test_transcripts_match_off_the_direct_edges(self, k, q):
+        """Lemmas 5/6: within k+2 rounds, swapping the IDs of w* and a
+        core neighbor u is invisible to the center except through the
+        direct edges — the girth blocks every other information path."""
+        exp = id_swap_transcript_check(k, q, seed=1)
+        assert exp.transcripts_match
+        assert exp.echoes_only
+
+    def test_direct_information_differs(self):
+        """Sanity: the swap is real — the center's *full* view (direct
+        edges included) does change."""
+        exp = id_swap_transcript_check(3, 2, seed=2)
+        assert exp.direct_edge_differs
+
+    def test_different_u_choices(self):
+        inst = build_class_gk(3, 2)
+        deg = inst.center_degree - 1  # core neighbors
+        for u_index in range(min(deg, 2)):
+            exp = id_swap_transcript_check(3, 2, seed=3, u_index=u_index)
+            assert exp.transcripts_match
+            assert exp.echoes_only
+
+
+class TestTranscriptFlooding:
+    def test_depth_limits_digest_reach(self):
+        """A digest is forwarded at most depth hops: node 0's digest
+        never reaches nodes at distance > depth, even though the wake
+        wave itself (each node injecting its own digest) travels on."""
+        from repro.models.knowledge import Knowledge, make_setup
+        from repro.graphs.generators import path_graph
+        from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+        from repro.sim.runner import run_wakeup
+
+        g = path_graph(10)
+        setup = make_setup(g, knowledge=Knowledge.KT1, seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup, TranscriptFlooding(depth=3), adversary,
+            engine="async", seed=1, require_all_awake=False,
+            record_trace=True,
+        )
+        origin_id = setup.id_of(0)
+        receivers = {
+            msg.dst
+            for msg in r.trace.deliveries()
+            if msg.payload[2][0] == origin_id
+        }
+        # nodes at distance <= 3 (plus the origin itself via echo)
+        assert receivers <= {0, 1, 2, 3}
+        assert 3 in receivers
+        assert 4 not in receivers

@@ -1,0 +1,84 @@
+"""Tests for the Trace event log."""
+
+import pytest
+
+from repro.core.flooding import Flooding
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.messages import Message
+from repro.sim.runner import run_wakeup
+from repro.sim.trace import Trace
+
+
+def _msg(src, dst, seq=0):
+    return Message(
+        src=src, dst=dst, dst_port=1, src_port=1, payload=("x",),
+        bits=8, sent_at=0.0, seq=seq,
+    )
+
+
+class TestManualRecording:
+    def test_event_ordering_preserved(self):
+        t = Trace()
+        t.wake(0.0, "a", "adversary")
+        t.send(0.0, _msg("a", "b"))
+        t.deliver(1.0, _msg("a", "b"))
+        kinds = [e.kind for e in t.events]
+        assert kinds == ["wake", "send", "deliver"]
+        assert len(t) == 3
+
+    def test_accessors(self):
+        t = Trace()
+        t.send(0.0, _msg("a", "b", seq=0))
+        t.send(0.5, _msg("b", "a", seq=1))
+        t.deliver(1.0, _msg("a", "b", seq=0))
+        t.wake(1.0, "b", "message")
+        assert len(t.sends()) == 2
+        assert len(t.deliveries()) == 1
+        assert t.wakes() == [(1.0, "b", "message")]
+
+    def test_edges_used(self):
+        t = Trace()
+        t.send(0.0, _msg("a", "b"))
+        t.send(0.0, _msg("a", "b", seq=1))
+        assert t.edges_used() == {("a", "b")}
+
+    def test_messages_between_counts_both_directions(self):
+        t = Trace()
+        t.send(0.0, _msg("a", "b"))
+        t.send(0.0, _msg("b", "a", seq=1))
+        t.send(0.0, _msg("a", "c", seq=2))
+        assert t.messages_between("a", "b") == 2
+        assert t.messages_between("b", "a") == 2
+        assert t.messages_between("a", "c") == 1
+        assert t.messages_between("b", "c") == 0
+
+
+class TestEngineIntegration:
+    def test_sends_equal_deliveries_at_quiescence(self):
+        g = cycle_graph(8)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup, Flooding(), adversary, engine="async", record_trace=True
+        )
+        assert len(r.trace.sends()) == len(r.trace.deliveries())
+        assert len(r.trace.sends()) == r.messages
+
+    def test_wake_events_match_metrics(self):
+        g = path_graph(6)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup, Flooding(), adversary, engine="async", record_trace=True
+        )
+        trace_wakes = {v: t for t, v, _c in r.trace.wakes()}
+        assert trace_wakes == r.wake_time
+
+    def test_trace_disabled_by_default(self):
+        g = path_graph(3)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(setup, Flooding(), adversary, engine="async")
+        assert r.trace is None

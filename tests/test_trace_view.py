@@ -1,0 +1,83 @@
+"""Tests for trace rendering utilities."""
+
+import pytest
+
+from repro.core.flooding import Flooding
+from repro.graphs.generators import path_graph, star_graph
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+from repro.sim.trace import Trace
+from repro.sim.trace_view import (
+    message_matrix,
+    render_timeline,
+    render_wake_wave,
+)
+
+
+@pytest.fixture()
+def flood_trace():
+    g = path_graph(5)
+    setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+    adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+    r = run_wakeup(
+        setup, Flooding(), adversary, engine="async", record_trace=True
+    )
+    return r.trace
+
+
+class TestTimeline:
+    def test_contains_all_event_kinds(self, flood_trace):
+        text = render_timeline(flood_trace, limit=1000)
+        assert "WAKE" in text
+        assert "SEND" in text
+        assert "DELIVER" in text
+
+    def test_limit_truncates(self, flood_trace):
+        text = render_timeline(flood_trace, limit=3)
+        assert "events total" in text
+        # 3 event lines + truncation marker
+        assert len(text.splitlines()) == 4
+
+    def test_kind_filter(self, flood_trace):
+        text = render_timeline(flood_trace, kinds={"wake"}, limit=1000)
+        assert "WAKE" in text
+        assert "SEND" not in text
+
+    def test_custom_vertex_format(self, flood_trace):
+        text = render_timeline(
+            flood_trace, limit=5, vertex_fmt=lambda v: f"node{v}"
+        )
+        assert "node0" in text
+
+
+class TestWakeWave:
+    def test_buckets_in_order(self, flood_trace):
+        text = render_wake_wave(flood_trace)
+        lines = text.splitlines()
+        assert len(lines) == 5  # path of 5: one wake per time unit
+        assert "adversary: 0" in lines[0]
+        assert "message" in lines[1]
+
+    def test_empty_trace(self):
+        assert render_wake_wave(Trace()) == "(no wake events)"
+
+    def test_bucket_width(self, flood_trace):
+        text = render_wake_wave(flood_trace, bucket=10.0)
+        assert len(text.splitlines()) == 1
+
+
+class TestMessageMatrix:
+    def test_counts(self):
+        g = star_graph(4)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        r = run_wakeup(
+            setup, Flooding(), adversary, engine="async", record_trace=True
+        )
+        text = message_matrix(r.trace, list(g.vertices()))
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 rows
+        # center sent one message to each leaf; leaves replied once
+        assert "1" in text
+        assert "." in text  # zero entries rendered as dots
