@@ -6,13 +6,15 @@ advice.  All three measures optimal up to polylog factors.
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
 
 from repro.analysis.fitting import fit_power_law_deloged
 from repro.analysis.report import print_table
 from repro.core.spanner_advice import LogSpannerAdvice
-from repro.experiments.sweeps import er_single_wake, sweep
+from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.sweeps import er_single_wake, parallel_sweep
 from repro.models.knowledge import Knowledge, make_setup
 from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
 from repro.sim.runner import run_wakeup
@@ -20,15 +22,21 @@ from repro.sim.runner import run_wakeup
 
 @pytest.fixture(scope="module")
 def cor2_sweep(bench_sizes):
-    return sweep(
-        LogSpannerAdvice,
-        er_single_wake(avg_degree=8.0, seed=29),
+    # Executor-routed (see bench_theorem3.py for the knobs).
+    rows, _ = parallel_sweep(
+        "log-spanner-advice",
+        {"kind": "er_single_wake", "avg_degree": 8.0, "seed": 29},
         sizes=bench_sizes,
-        knowledge=Knowledge.KT0,
+        executor=ParallelSweepExecutor(
+            workers=int(os.environ.get("REPRO_BENCH_WORKERS", "0")),
+            use_cache=False,
+        ),
+        knowledge="KT0",
         bandwidth="CONGEST",
         trials=3,
         seed=8,
     )
+    return rows
 
 
 def test_corollary2_near_linear_messages(cor2_sweep):

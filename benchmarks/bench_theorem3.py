@@ -11,6 +11,7 @@ DFS beats flooding on message count for dense graphs.
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
 
@@ -18,7 +19,8 @@ from repro.analysis.fitting import fit_power_law_deloged
 from repro.analysis.report import print_table
 from repro.core.dfs_wakeup import DfsWakeUp
 from repro.core.flooding import Flooding
-from repro.experiments.sweeps import er_fraction_wake, sweep
+from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.sweeps import er_fraction_wake, parallel_sweep
 from repro.graphs.generators import complete_graph
 from repro.models.knowledge import Knowledge, make_setup
 from repro.sim.adversary import Adversary, UniformRandomDelay, WakeSchedule
@@ -27,16 +29,25 @@ from repro.sim.runner import run_wakeup
 
 @pytest.fixture(scope="module")
 def dfs_sweep(bench_sizes):
-    return sweep(
-        DfsWakeUp,
-        er_fraction_wake(avg_degree=6.0, fraction=0.2, seed=11),
+    # Routed through the parallel executor; REPRO_BENCH_WORKERS>1 fans
+    # the 12 cells across processes, the default runs them inline (the
+    # two paths are conformant — tests/test_parallel_executor.py).
+    rows, _ = parallel_sweep(
+        "dfs-rank",
+        {"kind": "er_fraction_wake", "avg_degree": 6.0, "fraction": 0.2,
+         "seed": 11},
         sizes=bench_sizes,
-        knowledge=Knowledge.KT1,
+        executor=ParallelSweepExecutor(
+            workers=int(os.environ.get("REPRO_BENCH_WORKERS", "0")),
+            use_cache=False,
+        ),
+        knowledge="KT1",
         bandwidth="LOCAL",
         trials=3,
         seed=7,
-        delays=UniformRandomDelay(seed=5),
+        delay={"kind": "uniform", "seed": 5},
     )
+    return rows
 
 
 def test_theorem3_message_shape(dfs_sweep):

@@ -29,7 +29,9 @@ from typing import List, Optional
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import render_table
 from repro.core import algorithm_names, get_algorithm
-from repro.experiments.sweeps import er_single_wake, sweep
+from repro.experiments.parallel import DEFAULT_CACHE_DIR, ParallelSweepExecutor
+from repro.experiments.storage import merge_records
+from repro.experiments.sweeps import parallel_sweep
 from repro.experiments.table1 import (
     measure_table1,
     render_table1,
@@ -105,7 +107,18 @@ def _cmd_table1(args) -> int:
         f"workload: n={ctx['n']:.0f} m={ctx['m']:.0f} "
         f"D={ctx['diameter']:.0f} rho_awk={ctx['rho_awk']:.0f}"
     )
-    print(render_table1(measure_table1(n=args.n, seed=args.seed)))
+    executor = _make_executor(args)
+    print(
+        render_table1(
+            measure_table1(n=args.n, seed=args.seed, executor=executor)
+        )
+    )
+    s = executor.stats
+    print(
+        f"cells: {s['cells']:.0f} "
+        f"(executed {s['executed']:.0f}, cached {s['cached']:.0f}) "
+        f"in {s['wall_time']:.2f}s [workers={executor.workers}]"
+    )
     return 0
 
 
@@ -153,16 +166,31 @@ def _cmd_lowerbounds(args) -> int:
     return 0
 
 
+def _make_executor(args) -> ParallelSweepExecutor:
+    return ParallelSweepExecutor(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        cell_timeout=args.cell_timeout,
+    )
+
+
 def _cmd_sweep(args) -> int:
-    algo_factory = lambda: get_algorithm(args.algorithm)  # noqa: E731
     probe = get_algorithm(args.algorithm)
-    knowledge = Knowledge.KT1 if probe.requires_kt1 else Knowledge.KT0
+    knowledge = "KT1" if probe.requires_kt1 else "KT0"
     bandwidth = "CONGEST" if probe.congest_safe else "LOCAL"
     engine = probe.synchrony if probe.synchrony in ("sync", "async") else "async"
-    rows = sweep(
-        algo_factory,
-        er_single_wake(avg_degree=args.degree, seed=args.seed),
-        sizes=args.sizes,
+    sizes = args.sizes
+    if args.max_n is not None:
+        sizes = [n for n in (16 << i for i in range(30)) if n <= args.max_n]
+        if not sizes:
+            sizes = [args.max_n]
+    executor = _make_executor(args)
+    rows, outcomes = parallel_sweep(
+        args.algorithm,
+        {"kind": "er_single_wake", "avg_degree": args.degree, "seed": args.seed},
+        sizes=sizes,
+        executor=executor,
         engine=engine,
         knowledge=knowledge,
         bandwidth=bandwidth,
@@ -170,12 +198,38 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
     )
     print(render_table([r.as_dict() for r in rows]))
-    fit = fit_power_law([r.n for r in rows], [r.messages for r in rows])
+    failed = [o for o in outcomes if not o.ok]
+    for o in failed:
+        print(
+            f"cell failed: n={o.spec.n} trial={o.spec.trial} "
+            f"[{o.status}] {o.error}"
+        )
+    if len(rows) >= 2:
+        fit = fit_power_law([r.n for r in rows], [r.messages for r in rows])
+        print(
+            f"\nmessages ~ {fit.constant:.2f} * n^{fit.exponent:.3f} "
+            f"(r^2 = {fit.r_squared:.3f})"
+        )
+    s = executor.stats
     print(
-        f"\nmessages ~ {fit.constant:.2f} * n^{fit.exponent:.3f} "
-        f"(r^2 = {fit.r_squared:.3f})"
+        f"cells: {s['cells']:.0f} "
+        f"(executed {s['executed']:.0f}, cached {s['cached']:.0f}, "
+        f"failed {s['failed']:.0f}) in {s['wall_time']:.2f}s "
+        f"[workers={executor.workers}]"
     )
-    return 0
+    if args.out:
+        merge_records(
+            args.out,
+            [o.record() for o in outcomes],
+            experiment=f"sweep/{args.algorithm}",
+            params={
+                "degree": args.degree,
+                "trials": args.trials,
+                "seed": args.seed,
+            },
+        )
+        print(f"merged {len(outcomes)} cell records into {args.out}")
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1 = sub.add_parser("table1", help="measured Table-1 reproduction")
     p_t1.add_argument("--n", type=int, default=200)
     p_t1.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(p_t1)
 
     p_lb = sub.add_parser(
         "lowerbounds", help="Theorem 1/2 lower-bound harness tables"
@@ -211,15 +266,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_lb.add_argument("--seed", type=int, default=0)
 
     p_sweep = sub.add_parser("sweep", help="size sweep + exponent fit")
-    p_sweep.add_argument("algorithm", choices=algorithm_names())
+    p_sweep.add_argument(
+        "algorithm",
+        nargs="?",
+        default="flooding",
+        choices=algorithm_names(),
+    )
     p_sweep.add_argument(
         "--sizes", type=int, nargs="+", default=[64, 128, 256]
+    )
+    p_sweep.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        help="replace --sizes by doubling sizes 16, 32, ... up to N",
     )
     p_sweep.add_argument("--degree", type=float, default=6.0)
     p_sweep.add_argument("--trials", type=int, default=2)
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--out",
+        default=None,
+        help="merge per-cell records into this JSON artifact",
+    )
+    _add_executor_flags(p_sweep)
 
     return parser
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """The ParallelSweepExecutor knobs, shared by cell-based commands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count; 0/1 = in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (force recompute)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        help="cell cache location (default: results/.cache)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -68,6 +68,17 @@ def get_algorithm(name: str) -> WakeUpAlgorithm:
         ) from None
 
 
+def get_factory(name: str) -> Factory:
+    """The registered factory itself (for parameterized instantiation,
+    e.g. the parallel executor's ``algo_params`` cell field)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
 def algorithm_names() -> List[str]:
     return sorted(_REGISTRY)
 

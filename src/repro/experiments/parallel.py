@@ -1,0 +1,560 @@
+"""Parallel sweep execution with on-disk result caching.
+
+Every Table-1 experiment decomposes into independent *cells* — one
+``(algorithm, n, seed, adversary)`` execution each.  Historically the
+sweep drivers ran every cell serially in-process; this module fans the
+cells across worker processes and memoizes finished cells on disk so a
+re-run only executes what changed.
+
+Design constraints, in order:
+
+1. **Determinism.**  A cell executed in a worker process must produce
+   bit-identical summary scalars to the same cell executed inline.
+   Cells are therefore *plain data* (:class:`CellSpec`): the worker
+   rebuilds the graph, algorithm, and adversary from the spec, so no
+   live object state crosses the fork.  (The delay strategies use a
+   stable hash for the same reason — see
+   :func:`repro.sim.adversary._stable_unit`.)
+2. **Robustness.**  A cell that raises
+   :class:`~repro.errors.WakeUpFailure`, times out, or takes its worker
+   down mid-task becomes a structured failed-cell record in the sweep
+   output; it never aborts the sweep.  A crashed worker is retried once
+   (in an isolated single-worker pool so a deterministic crasher cannot
+   poison its neighbours' retry budget).
+3. **Cache safety.**  Cache entries are keyed by a content hash of the
+   full cell spec plus a code-version salt (:data:`CODE_SALT`); bump
+   the salt whenever engine or algorithm semantics change and every
+   cached cell is transparently recomputed.
+
+The worker payload — and the cache payload, deliberately the same
+representation — is the lean form of
+:class:`~repro.sim.runner.WakeUpResult` (scalars only; no ``Trace``,
+no metric Counters), so a warm cache and a fresh run are
+indistinguishable to downstream aggregation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError, WakeUpFailure
+from repro.sim.runner import WakeUpResult
+
+# Bump whenever engine or algorithm semantics change: every cached cell
+# keyed under the old salt is then ignored and recomputed.
+CODE_SALT = "repro-cell-v1"
+
+DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+
+# ----------------------------------------------------------------------
+# Cell specification
+# ----------------------------------------------------------------------
+@dataclass
+class CellSpec:
+    """One independent execution, described entirely by plain data.
+
+    ``workload`` / ``delay`` / ``schedule`` are small dicts with a
+    ``"kind"`` discriminator resolved by registries (workloads live in
+    :mod:`repro.experiments.sweeps`; delays and schedules below), so a
+    spec pickles across processes and hashes canonically for the cache.
+
+    ``algorithm`` is a registry name (``"flooding"``) or a dotted path
+    (``"pkg.module:Attr"``) for algorithms not in the registry — the
+    latter is how tests inject fault-simulating algorithms.
+
+    The default seeds replicate the serial sweep's derivation
+    (``run_seed = seed*10_007 + n*101 + trial``; setup seeded with
+    ``run_seed``, execution with ``run_seed + 1``) so spec-based runs
+    are conformant with the legacy path; ``setup_seed`` / ``exec_seed``
+    override them for drivers with their own seeding (Table 1).
+    """
+
+    algorithm: str
+    n: int
+    trial: int = 0
+    seed: int = 0
+    engine: str = "async"
+    knowledge: str = "KT1"
+    bandwidth: str = "LOCAL"
+    workload: Dict[str, Any] = field(
+        default_factory=lambda: {"kind": "er_single_wake"}
+    )
+    delay: Dict[str, Any] = field(default_factory=lambda: {"kind": "unit"})
+    schedule: Dict[str, Any] = field(
+        default_factory=lambda: {"kind": "all_at_once"}
+    )
+    algo_params: Dict[str, Any] = field(default_factory=dict)
+    require_all_awake: bool = True
+    max_events: int = 5_000_000
+    setup_seed: Optional[int] = None
+    exec_seed: Optional[int] = None
+
+    @property
+    def run_seed(self) -> int:
+        return self.seed * 10_007 + self.n * 101 + self.trial
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def cell_key(spec: CellSpec) -> str:
+    """Content hash identifying a cell: the full spec plus the code
+    salt, canonically serialized.  Any differing input — seed, size,
+    algorithm parameter, adversary knob — yields a different key."""
+    blob = json.dumps(
+        {"salt": CODE_SALT, "spec": spec.as_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Spec -> live objects
+# ----------------------------------------------------------------------
+def _build_algorithm(name: str, params: Dict[str, Any]):
+    if ":" in name:
+        module_name, attr = name.split(":", 1)
+        factory = getattr(importlib.import_module(module_name), attr)
+    else:
+        from repro.core.registry import get_factory
+
+        factory = get_factory(name)
+    return factory(**params) if params else factory()
+
+
+def _build_delay(spec: Dict[str, Any]):
+    from repro.sim.adversary import PerEdgeDelay, UniformRandomDelay, UnitDelay
+
+    kind = spec.get("kind", "unit")
+    if kind == "unit":
+        return UnitDelay()
+    if kind == "uniform":
+        return UniformRandomDelay(
+            seed=spec.get("seed", 0), lo=spec.get("lo", 0.05)
+        )
+    if kind == "per_edge":
+        return PerEdgeDelay(seed=spec.get("seed", 0), lo=spec.get("lo", 0.1))
+    raise ReproError(f"unknown delay kind {kind!r}")
+
+
+def _build_schedule(spec: Dict[str, Any], graph, awake):
+    from repro.sim.adversary import WakeSchedule
+
+    kind = spec.get("kind", "all_at_once")
+    if kind == "all_at_once":
+        return WakeSchedule.all_at_once(awake, time=spec.get("time", 0.0))
+    if kind == "random_subset":
+        return WakeSchedule.random_subset(
+            graph,
+            spec["count"],
+            seed=spec.get("seed", 0),
+            time=spec.get("time", 0.0),
+        )
+    raise ReproError(f"unknown schedule kind {kind!r}")
+
+
+class _CellTimeout(Exception):
+    pass
+
+
+def _execute_cell(spec: CellSpec) -> Dict[str, Any]:
+    """Run one cell; returns the JSON-able success payload."""
+    # Imported lazily: sweeps imports CellSpec from this module.
+    from repro.experiments.sweeps import build_workload
+    from repro.graphs.traversal import awake_distance
+    from repro.models.knowledge import Knowledge, make_setup
+    from repro.sim.adversary import Adversary
+    from repro.sim.runner import run_wakeup
+
+    workload = build_workload(spec.workload)
+    graph, awake = workload(spec.n)
+    rho = float(awake_distance(graph, awake))
+    setup_seed = (
+        spec.setup_seed if spec.setup_seed is not None else spec.run_seed
+    )
+    exec_seed = (
+        spec.exec_seed if spec.exec_seed is not None else spec.run_seed + 1
+    )
+    setup = make_setup(
+        graph,
+        knowledge=Knowledge[spec.knowledge],
+        bandwidth=spec.bandwidth,
+        seed=setup_seed,
+    )
+    adversary = Adversary(
+        _build_schedule(spec.schedule, graph, awake),
+        _build_delay(spec.delay),
+    )
+    result = run_wakeup(
+        setup,
+        _build_algorithm(spec.algorithm, spec.algo_params),
+        adversary,
+        engine=spec.engine,
+        seed=exec_seed,
+        require_all_awake=spec.require_all_awake,
+        max_events=spec.max_events,
+    )
+    return {"rho_awk": rho, "result": result.to_lean_dict()}
+
+
+def run_cell(
+    spec: CellSpec, cell_timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Worker entry point for one cell: never raises.
+
+    Failures come back as structured payloads; the per-cell timeout is
+    enforced worker-side with ``SIGALRM`` (interrupting even a CPU-bound
+    engine loop), so a slow cell costs its budget and nothing more.
+    """
+    start = time.perf_counter()
+    use_alarm = (
+        cell_timeout is not None
+        and threading.current_thread() is threading.main_thread()
+    )
+    old_handler = None
+    if use_alarm:
+
+        def _on_alarm(signum, frame):
+            raise _CellTimeout()
+
+        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    timeout_payload = {
+        "ok": False,
+        "status": "timeout",
+        "error": f"cell exceeded {cell_timeout}s budget",
+        "error_kind": "Timeout",
+    }
+    try:
+        try:
+            # The timer is armed *inside* the try so a very short budget
+            # cannot fire in the gap before the except clauses are live.
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, cell_timeout)
+            payload = _execute_cell(spec)
+            payload["ok"] = True
+            payload["status"] = "ok"
+        except _CellTimeout:
+            payload = timeout_payload
+        except WakeUpFailure as exc:
+            payload = {
+                "ok": False,
+                "status": "failed",
+                "error": str(exc),
+                "error_kind": "WakeUpFailure",
+                "asleep": sorted(repr(v) for v in exc.asleep),
+            }
+        except Exception as exc:  # noqa: BLE001 — structured, not swallowed
+            payload = {
+                "ok": False,
+                "status": "failed",
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": type(exc).__name__,
+            }
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+    except _CellTimeout:
+        # The alarm was already pending when an except/finally clause
+        # above ran; the timer is one-shot, so just record the timeout.
+        payload = timeout_payload
+    finally:
+        if use_alarm:
+            signal.signal(signal.SIGALRM, old_handler)
+    payload["duration"] = time.perf_counter() - start
+    return payload
+
+
+def _run_cell_batch(
+    specs: List[CellSpec], cell_timeout: Optional[float]
+) -> List[Dict[str, Any]]:
+    """Chunked worker task: one IPC round trip for several cells."""
+    return [run_cell(spec, cell_timeout) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+@dataclass
+class CellOutcome:
+    """What happened to one cell: a lean result or a structured failure."""
+
+    spec: CellSpec
+    key: str
+    status: str  # "ok" | "failed" | "timeout" | "crashed"
+    cached: bool = False
+    result: Optional[WakeUpResult] = None
+    rho_awk: float = 0.0
+    error: Optional[str] = None
+    duration: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def record(self) -> Dict[str, Any]:
+        """Flat dict for JSON artifacts (storage.save_records /
+        merge_records): spec identity + outcome + summary scalars."""
+        rec: Dict[str, Any] = {
+            "key": self.key,
+            "algorithm": self.spec.algorithm,
+            "n": self.spec.n,
+            "trial": self.spec.trial,
+            "seed": self.spec.seed,
+            "engine": self.spec.engine,
+            "status": self.status,
+            "cached": self.cached,
+            "rho_awk": self.rho_awk,
+        }
+        if self.result is not None:
+            rec.update(self.result.summary())
+            rec["time_all_awake"] = self.result.time_all_awake
+        if self.error is not None:
+            rec["error"] = self.error
+        return rec
+
+
+def _outcome_from_payload(
+    spec: CellSpec, key: str, payload: Dict[str, Any], cached: bool
+) -> CellOutcome:
+    if payload.get("ok"):
+        return CellOutcome(
+            spec=spec,
+            key=key,
+            status="ok",
+            cached=cached,
+            result=WakeUpResult.from_lean_dict(payload["result"]),
+            rho_awk=float(payload.get("rho_awk", 0.0)),
+            duration=float(payload.get("duration", 0.0)),
+        )
+    return CellOutcome(
+        spec=spec,
+        key=key,
+        status=payload.get("status", "failed"),
+        cached=cached,
+        error=payload.get("error"),
+        duration=float(payload.get("duration", 0.0)),
+    )
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class ParallelSweepExecutor:
+    """Fans independent sweep cells across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``.  ``0`` or
+        ``1`` runs cells inline in this process (the serial baseline —
+        same code path as the workers, no pool overhead).
+    cache_dir / use_cache:
+        On-disk memoization of successful cells, keyed by
+        :func:`cell_key`.  Failures are never cached.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds, enforced inside the
+        worker; an overrun becomes a ``"timeout"`` outcome.
+    chunk_size:
+        Cells per submitted task; ``None`` picks a size that gives each
+        worker ~4 chunks, amortizing IPC without starving the pool.
+    retries:
+        How often a cell whose *worker process died* is retried (in an
+        isolated single-worker pool).  Default 1.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR,
+        use_cache: bool = True,
+        cell_timeout: Optional[float] = None,
+        chunk_size: Optional[int] = None,
+        retries: int = 1,
+    ):
+        self.workers = os.cpu_count() or 1 if workers is None else workers
+        self.cache_dir = Path(cache_dir)
+        self.use_cache = use_cache
+        self.cell_timeout = cell_timeout
+        self.chunk_size = chunk_size
+        self.retries = retries
+        self.stats: Dict[str, float] = {}
+
+    # -- public API ------------------------------------------------------
+    def run(self, cells: Sequence[CellSpec]) -> List[CellOutcome]:
+        """Execute all cells; one :class:`CellOutcome` per cell, in
+        input order.  Never raises for per-cell failures."""
+        cells = list(cells)
+        start = time.perf_counter()
+        outcomes: Dict[int, CellOutcome] = {}
+        misses: List[Tuple[int, CellSpec, str]] = []
+        for idx, spec in enumerate(cells):
+            key = cell_key(spec)
+            payload = self._cache_load(key) if self.use_cache else None
+            if payload is not None:
+                outcomes[idx] = _outcome_from_payload(
+                    spec, key, payload, cached=True
+                )
+            else:
+                misses.append((idx, spec, key))
+
+        if misses:
+            if self.workers <= 1:
+                for idx, spec, key in misses:
+                    payload = run_cell(spec, self.cell_timeout)
+                    outcomes[idx] = _outcome_from_payload(
+                        spec, key, payload, cached=False
+                    )
+                    self._maybe_cache(key, payload)
+            else:
+                self._run_pool(misses, outcomes)
+
+        ordered = [outcomes[i] for i in range(len(cells))]
+        self.stats = {
+            "cells": len(cells),
+            "executed": sum(1 for o in ordered if not o.cached),
+            "cached": sum(1 for o in ordered if o.cached),
+            "ok": sum(1 for o in ordered if o.ok),
+            "failed": sum(1 for o in ordered if not o.ok),
+            "wall_time": time.perf_counter() - start,
+        }
+        return ordered
+
+    # -- pool management -------------------------------------------------
+    def _run_pool(
+        self,
+        misses: List[Tuple[int, CellSpec, str]],
+        outcomes: Dict[int, CellOutcome],
+    ) -> None:
+        chunk = self.chunk_size or max(
+            1, -(-len(misses) // (self.workers * 4))
+        )
+        batches = [
+            misses[i : i + chunk] for i in range(0, len(misses), chunk)
+        ]
+        survivors: List[Tuple[int, CellSpec, str]] = []
+        broke = False
+        ctx = get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=ctx
+        ) as pool:
+            futs = {
+                pool.submit(
+                    _run_cell_batch,
+                    [spec for _, spec, _ in batch],
+                    self.cell_timeout,
+                ): batch
+                for batch in batches
+            }
+            for fut in as_completed(futs):
+                batch = futs[fut]
+                try:
+                    payloads = fut.result()
+                except BrokenProcessPool:
+                    # One of this batch's cells (or a neighbour) took a
+                    # worker down; every unfinished future fails with
+                    # the same error.  Defer to the isolation pass.
+                    broke = True
+                    survivors.extend(batch)
+                    continue
+                for (idx, spec, key), payload in zip(batch, payloads):
+                    outcomes[idx] = _outcome_from_payload(
+                        spec, key, payload, cached=False
+                    )
+                    self._maybe_cache(key, payload)
+        if broke:
+            self._run_isolated(survivors, outcomes)
+
+    def _run_isolated(
+        self,
+        cells: List[Tuple[int, CellSpec, str]],
+        outcomes: Dict[int, CellOutcome],
+    ) -> None:
+        """Post-crash path: one fresh single-worker pool per cell, so a
+        deterministically crashing cell cannot consume its neighbours'
+        retry budget.  Each cell gets ``retries`` extra attempts."""
+        ctx = get_context("fork")
+        for idx, spec, key in cells:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=1, mp_context=ctx
+                    ) as pool:
+                        payload = pool.submit(
+                            run_cell, spec, self.cell_timeout
+                        ).result()
+                except BrokenProcessPool:
+                    if attempts <= self.retries:
+                        continue
+                    outcomes[idx] = CellOutcome(
+                        spec=spec,
+                        key=key,
+                        status="crashed",
+                        error=(
+                            "worker process died "
+                            f"({attempts} attempt(s))"
+                        ),
+                        attempts=attempts,
+                    )
+                    break
+                outcomes[idx] = _outcome_from_payload(
+                    spec, key, payload, cached=False
+                )
+                outcomes[idx].attempts = attempts
+                self._maybe_cache(key, payload)
+                break
+
+    # -- cache -----------------------------------------------------------
+    def _cache_path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _cache_load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._cache_path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("salt") != CODE_SALT or data.get("key") != key:
+            return None
+        return data.get("payload")
+
+    def _maybe_cache(self, key: str, payload: Dict[str, Any]) -> None:
+        if not self.use_cache or not payload.get("ok"):
+            return
+        path = self._cache_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(
+                {"salt": CODE_SALT, "key": key, "payload": payload},
+                sort_keys=True,
+            )
+        )
+        tmp.replace(path)
+
+    def purge_cache(self) -> int:
+        """Delete every cached cell; returns the number removed.  The
+        blunt instrument for forcing a cold re-run (EXPERIMENTS.md)."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for entry in self.cache_dir.rglob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed

@@ -73,6 +73,51 @@ def load_records(path: PathLike) -> Dict[str, Any]:
     return payload
 
 
+def merge_records(
+    path: PathLike,
+    records: Sequence[Any],
+    experiment: str,
+    params: Dict[str, Any] | None = None,
+    key: str = "key",
+) -> List[Dict[str, Any]]:
+    """Merge new records into an existing artifact, matching by ``key``.
+
+    This is how cached and fresh executor cells land in one JSON file:
+    a warm-cache re-run merges its (identical) records over the stored
+    ones, a partial re-run replaces exactly the cells that changed.
+
+    Existing records keep their position; a new record with a matching
+    ``key`` replaces the old one in place, unmatched new records are
+    appended in input order.  Records lacking ``key`` are always
+    appended (no identity to merge on).  A missing file, or one from a
+    different ``experiment``, starts fresh.  Returns the merged record
+    list (as written).
+    """
+    existing: List[Dict[str, Any]] = []
+    if Path(path).exists():
+        try:
+            payload = load_records(path)
+        except ReproError:
+            payload = {}
+        if payload.get("experiment") == experiment:
+            existing = list(payload.get("records", []))
+
+    merged = [dict(r) for r in existing]
+    position = {
+        r[key]: i for i, r in enumerate(merged) if isinstance(r, dict) and key in r
+    }
+    for rec in records:
+        rec = _jsonable(rec)
+        if isinstance(rec, dict) and key in rec and rec[key] in position:
+            merged[position[rec[key]]] = rec
+        else:
+            if isinstance(rec, dict) and key in rec:
+                position[rec[key]] = len(merged)
+            merged.append(rec)
+    save_records(path, merged, experiment, params)
+    return merged
+
+
 def compare_records(
     old: Dict[str, Any],
     new: Dict[str, Any],

@@ -4,16 +4,32 @@ A sweep runs one algorithm over a family of growing networks, repeats
 each size a few times with fresh seeds, and aggregates the Table-1
 measures per size.  Workload constructors are plain callables
 ``n -> (graph, awake_vertices)`` so benches compose them freely.
+
+Two execution paths share the aggregation:
+
+* :func:`sweep` — the legacy in-process loop over arbitrary callables;
+* :func:`parallel_sweep` — the spec-based path: algorithm by registry
+  name, workload by :data:`WORKLOADS` kind, routed through a
+  :class:`~repro.experiments.parallel.ParallelSweepExecutor` (worker
+  processes + on-disk cell cache).  With identical inputs the two paths
+  produce bit-identical summary scalars (enforced by
+  ``tests/test_parallel_executor.py``).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import summarize
 from repro.core.base import WakeUpAlgorithm
+from repro.errors import ReproError
+from repro.experiments.parallel import (
+    CellOutcome,
+    CellSpec,
+    ParallelSweepExecutor,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import awake_distance
 from repro.models.knowledge import Knowledge, make_setup
@@ -180,3 +196,167 @@ def tree_random_wake(seed: int = 0) -> Workload:
         return g, [rng.randrange(n)]
 
     return build
+
+
+def er_shared_wake(
+    avg_degree: float = 8.0, awake_fraction: float = 0.05, seed: int = 0
+) -> Workload:
+    """Connected ER seeded independently of n, a fraction woken.
+
+    Unlike :func:`er_fraction_wake` the graph seed does not vary with n,
+    so every algorithm compared at a fixed n sees the *same* network —
+    the Table-1 shared workload."""
+    from repro.graphs.generators import connected_erdos_renyi
+
+    def build(n: int):
+        g = connected_erdos_renyi(n, avg_degree / max(1, n - 1), seed=seed)
+        rng = random.Random(seed + 1)
+        awake = rng.sample(
+            list(g.vertices()), max(1, int(awake_fraction * n))
+        )
+        return g, awake
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Spec-based sweeps (parallel executor path)
+# ----------------------------------------------------------------------
+
+# kind -> workload factory; cells reference workloads by kind + kwargs
+# so they serialize across process boundaries and hash into cache keys.
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "er_single_wake": er_single_wake,
+    "er_fraction_wake": er_fraction_wake,
+    "dense_er_all_awake": dense_er_all_awake,
+    "grid_corner_wake": grid_corner_wake,
+    "tree_random_wake": tree_random_wake,
+    "er_shared_wake": er_shared_wake,
+}
+
+
+def register_workload(kind: str, factory: Callable[..., Workload]) -> None:
+    """Register an external workload for spec-based sweeps."""
+    WORKLOADS[kind] = factory
+
+
+def build_workload(spec: Dict[str, Any]) -> Workload:
+    """Resolve a workload spec ``{"kind": ..., **kwargs}``."""
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    try:
+        factory = WORKLOADS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload kind {kind!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**params)
+
+
+def sweep_cells(
+    algorithm: str,
+    workload: Dict[str, Any],
+    sizes: Sequence[int],
+    engine: str = "async",
+    knowledge: str = "KT1",
+    bandwidth: str = "LOCAL",
+    trials: int = 3,
+    seed: int = 0,
+    delay: Optional[Dict[str, Any]] = None,
+    algo_params: Optional[Dict[str, Any]] = None,
+) -> List[CellSpec]:
+    """The cell grid of a sweep: ``len(sizes) * trials`` independent
+    specs, seeded exactly like :func:`sweep`'s inner loop."""
+    return [
+        CellSpec(
+            algorithm=algorithm,
+            n=n,
+            trial=t,
+            seed=seed,
+            engine=engine,
+            knowledge=knowledge,
+            bandwidth=bandwidth,
+            workload=dict(workload),
+            delay=dict(delay or {"kind": "unit"}),
+            algo_params=dict(algo_params or {}),
+        )
+        for n in sizes
+        for t in range(trials)
+    ]
+
+
+def rows_from_outcomes(outcomes: Sequence[CellOutcome]) -> List[SweepRow]:
+    """Aggregate cell outcomes per size, mirroring :func:`sweep`.
+
+    Failed cells are excluded from the aggregates (their structured
+    records stay in ``outcomes``); a size with no successful cell
+    produces no row."""
+    by_n: Dict[int, List[CellOutcome]] = {}
+    order: List[int] = []
+    for o in outcomes:
+        if o.spec.n not in by_n:
+            by_n[o.spec.n] = []
+            order.append(o.spec.n)
+        by_n[o.spec.n].append(o)
+    rows: List[SweepRow] = []
+    for n in order:
+        good = [o for o in by_n[n] if o.ok and o.result is not None]
+        if not good:
+            continue
+        good.sort(key=lambda o: o.spec.trial)
+        results = [o.result for o in good]
+        m = summarize([float(r.messages) for r in results])
+        rows.append(
+            SweepRow(
+                n=n,
+                rho_awk=good[-1].rho_awk,
+                messages=m.mean,
+                messages_std=m.std,
+                time=summarize([r.time for r in results]).mean,
+                time_all_awake=summarize(
+                    [r.time_all_awake for r in results]
+                ).mean,
+                bits=summarize([float(r.bits) for r in results]).mean,
+                advice_max_bits=max(r.advice_max_bits for r in results),
+                advice_avg_bits=max(r.advice_avg_bits for r in results),
+                trials=len(good),
+            )
+        )
+    return rows
+
+
+def parallel_sweep(
+    algorithm: str,
+    workload: Dict[str, Any],
+    sizes: Sequence[int],
+    executor: Optional[ParallelSweepExecutor] = None,
+    engine: str = "async",
+    knowledge: str = "KT1",
+    bandwidth: str = "LOCAL",
+    trials: int = 3,
+    seed: int = 0,
+    delay: Optional[Dict[str, Any]] = None,
+    algo_params: Optional[Dict[str, Any]] = None,
+) -> Tuple[List[SweepRow], List[CellOutcome]]:
+    """Executor-routed sweep: returns the aggregated rows *and* the raw
+    per-cell outcomes (summary scalars, cache hits, failure records).
+
+    With no ``executor`` the cells run inline and uncached — the serial
+    baseline, bit-identical to what any worker pool produces.
+    """
+    cells = sweep_cells(
+        algorithm,
+        workload,
+        sizes,
+        engine=engine,
+        knowledge=knowledge,
+        bandwidth=bandwidth,
+        trials=trials,
+        seed=seed,
+        delay=delay,
+        algo_params=algo_params,
+    )
+    if executor is None:
+        executor = ParallelSweepExecutor(workers=0, use_cache=False)
+    outcomes = executor.run(cells)
+    return rows_from_outcomes(outcomes), outcomes

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.report import render_table
 from repro.core.base import WakeUpAlgorithm
+from repro.errors import ReproError
 from repro.core.child_encoding import ChildEncodingAdvice
 from repro.core.dfs_wakeup import DfsWakeUp
 from repro.core.fast_wakeup import FastWakeUp
@@ -59,10 +60,14 @@ class Table1Row:
 
 
 _ROWS = [
-    # (row label, factory, engine, knowledge, bandwidth, paper bounds)
+    # (label, factory, registry name, algo params, engine, knowledge,
+    #  bandwidth, paper bounds) — factory for the in-process path,
+    # name+params for the executor cells; both build the same object.
     (
         "Thm 3",
         DfsWakeUp,
+        "dfs-rank",
+        {},
         "async",
         Knowledge.KT1,
         "LOCAL",
@@ -71,6 +76,8 @@ _ROWS = [
     (
         "Thm 4",
         FastWakeUp,
+        "fast-wakeup",
+        {},
         "sync",
         Knowledge.KT1,
         "LOCAL",
@@ -79,6 +86,8 @@ _ROWS = [
     (
         "Cor 1",
         Fip06TreeAdvice,
+        "fip06-tree-advice",
+        {},
         "async",
         Knowledge.KT0,
         "CONGEST",
@@ -87,6 +96,8 @@ _ROWS = [
     (
         "Thm 5A",
         SqrtThresholdAdvice,
+        "sqrt-threshold-advice",
+        {},
         "async",
         Knowledge.KT0,
         "CONGEST",
@@ -95,6 +106,8 @@ _ROWS = [
     (
         "Thm 5B",
         ChildEncodingAdvice,
+        "child-encoding",
+        {},
         "async",
         Knowledge.KT0,
         "CONGEST",
@@ -103,6 +116,8 @@ _ROWS = [
     (
         "Thm 6",
         lambda: SpannerAdvice(k=3),
+        "spanner-advice",
+        {"k": 3},
         "async",
         Knowledge.KT0,
         "CONGEST",
@@ -111,6 +126,8 @@ _ROWS = [
     (
         "Cor 2",
         LogSpannerAdvice,
+        "log-spanner-advice",
+        {},
         "async",
         Knowledge.KT0,
         "CONGEST",
@@ -119,6 +136,8 @@ _ROWS = [
     (
         "baseline",
         Flooding,
+        "flooding",
+        {},
         "async",
         Knowledge.KT0,
         "CONGEST",
@@ -127,14 +146,94 @@ _ROWS = [
 ]
 
 
+def table1_cells(
+    n: int = 200,
+    avg_degree: float = 8.0,
+    awake_fraction: float = 0.05,
+    seed: int = 0,
+):
+    """One :class:`~repro.experiments.parallel.CellSpec` per Table-1
+    row, on the shared workload, seeded exactly like the in-process
+    :func:`measure_table1` loop."""
+    from repro.experiments.parallel import CellSpec
+
+    workload = {
+        "kind": "er_shared_wake",
+        "avg_degree": avg_degree,
+        "awake_fraction": awake_fraction,
+        "seed": seed,
+    }
+    cells = []
+    for _, _, name, params, engine, knowledge, bandwidth, _ in _ROWS:
+        delay = (
+            {"kind": "unit"}
+            if engine == "sync"
+            else {"kind": "uniform", "seed": seed}
+        )
+        cells.append(
+            CellSpec(
+                algorithm=name,
+                n=n,
+                seed=seed,
+                engine=engine,
+                knowledge=knowledge.value,
+                bandwidth=bandwidth,
+                workload=dict(workload),
+                delay=delay,
+                algo_params=dict(params),
+                setup_seed=seed + 2,
+                exec_seed=seed + 3,
+            )
+        )
+    return cells
+
+
 def measure_table1(
     n: int = 200,
     avg_degree: float = 8.0,
     awake_fraction: float = 0.05,
     seed: int = 0,
+    executor=None,
 ) -> List[Table1Row]:
-    """Run every Table-1 algorithm on a shared ER workload."""
+    """Run every Table-1 algorithm on a shared ER workload.
+
+    With an ``executor``
+    (:class:`~repro.experiments.parallel.ParallelSweepExecutor`) the
+    rows run as independent cells — in parallel, cached on disk — and
+    produce the same measurements as the in-process loop.
+    """
     import random as _random
+
+    if executor is not None:
+        cells = table1_cells(
+            n=n,
+            avg_degree=avg_degree,
+            awake_fraction=awake_fraction,
+            seed=seed,
+        )
+        outcomes = executor.run(cells)
+        rows = []
+        for (label, _, _, _, engine, knowledge, bandwidth, bounds), o in zip(
+            _ROWS, outcomes
+        ):
+            if not o.ok or o.result is None:
+                raise ReproError(
+                    f"Table-1 row {label!r} failed: {o.status} ({o.error})"
+                )
+            rows.append(
+                Table1Row(
+                    row=label,
+                    algorithm=o.result.algorithm,
+                    model=f"{engine}/{knowledge.value}/{bandwidth}",
+                    paper_time=bounds[0],
+                    paper_messages=bounds[1],
+                    paper_advice=bounds[2],
+                    time=o.result.time,
+                    messages=o.result.messages,
+                    advice_max_bits=o.result.advice_max_bits,
+                )
+            )
+        return rows
 
     graph = connected_erdos_renyi(
         n, avg_degree / max(1, n - 1), seed=seed
@@ -144,7 +243,7 @@ def measure_table1(
         list(graph.vertices()), max(1, int(awake_fraction * n))
     )
     rows: List[Table1Row] = []
-    for label, factory, engine, knowledge, bandwidth, bounds in _ROWS:
+    for label, factory, _, _, engine, knowledge, bandwidth, bounds in _ROWS:
         setup = make_setup(
             graph, knowledge=knowledge, bandwidth=bandwidth, seed=seed + 2
         )

@@ -14,6 +14,7 @@ Time is normalized so that the maximum message delay is tau = 1 (Sec
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
@@ -21,6 +22,22 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph, Vertex
+
+
+def _stable_unit(*parts: object) -> float:
+    """A deterministic value in (0, 1) derived from ``parts``.
+
+    Built on blake2b rather than :func:`hash` because Python salts
+    string hashing per interpreter process (PYTHONHASHSEED): with
+    ``hash()`` the "oblivious" delays silently differed between runs,
+    which breaks replayability and poisons any on-disk result cache
+    keyed by the adversary configuration.
+    """
+    data = repr(parts).encode("utf-8")
+    h = int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+    return ((h % 2**32) + 0.5) / 2**32
 
 # ----------------------------------------------------------------------
 # Wake schedules
@@ -190,8 +207,7 @@ class UniformRandomDelay(DelayStrategy):
         self._lo = lo
 
     def delay(self, src, dst, sent_at, seq):
-        h = hash((self._seed, repr(src), repr(dst), seq))
-        u = ((h % 2**32) + 0.5) / 2**32
+        u = _stable_unit(self._seed, repr(src), repr(dst), seq)
         return self._lo + (1.0 - self._lo) * u
 
 
@@ -212,8 +228,7 @@ class PerEdgeDelay(DelayStrategy):
     def delay(self, src, dst, sent_at, seq):
         key = (repr(src), repr(dst))
         if key not in self._cache:
-            h = hash((self._seed,) + key)
-            u = ((h % 2**32) + 0.5) / 2**32
+            u = _stable_unit(self._seed, key[0], key[1])
             self._cache[key] = self._lo + (1.0 - self._lo) * u
         return self._cache[key]
 

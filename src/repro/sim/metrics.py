@@ -136,3 +136,34 @@ class Metrics:
             "awake": float(self.awake_count()),
             "events": float(self.events_processed),
         }
+
+    # ------------------------------------------------------------------
+    # Lean serialization (parallel executor / result cache)
+    # ------------------------------------------------------------------
+    def compact(self) -> "Metrics":
+        """A lightweight copy that keeps every scalar but drops the
+        per-node/per-edge Counters and the per-vertex wake-time map.
+
+        Used when a result crosses a process boundary or is persisted to
+        the on-disk cache: the heavy collections grow with n and m, yet
+        everything Table 1 reports is scalar.  The wake-time map is
+        replaced by placeholder entries that preserve the derived
+        quantities (:meth:`awake_count`, :attr:`time_all_awake`) without
+        carrying a per-vertex dict (placeholder keys hash stably and
+        compare equal across processes).
+        """
+        m = Metrics(
+            messages_total=self.messages_total,
+            bits_total=self.bits_total,
+            max_message_bits=self.max_message_bits,
+            first_wake=self.first_wake,
+            last_activity=self.last_activity,
+            events_processed=self.events_processed,
+        )
+        if self.wake_time:
+            count = len(self.wake_time)
+            last_wake = max(self.wake_time.values())
+            first = self.first_wake if self.first_wake is not None else last_wake
+            m.wake_time = {("awake", i): first for i in range(count - 1)}
+            m.wake_time[("awake", count - 1)] = last_wake
+        return m

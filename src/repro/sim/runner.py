@@ -65,6 +65,105 @@ class WakeUpResult:
             "advice_avg_bits": float(self.advice_avg_bits),
         }
 
+    # ------------------------------------------------------------------
+    # Lean serialization (process boundary / on-disk result cache)
+    # ------------------------------------------------------------------
+    def lean(self) -> "WakeUpResult":
+        """A copy safe to ship across a process boundary cheaply.
+
+        Drops the heavyweights that grow with n and m — the ``trace``,
+        the metric Counters, and the per-vertex ``wake_time`` map —
+        while keeping every scalar the :meth:`summary` and the sweep
+        aggregators read.  ``asleep`` is kept (it is empty on success
+        and is exactly the failure diagnostic on partial wake-ups).
+        """
+        return WakeUpResult(
+            algorithm=self.algorithm,
+            engine=self.engine,
+            n=self.n,
+            messages=self.messages,
+            bits=self.bits,
+            max_message_bits=self.max_message_bits,
+            time=self.time,
+            time_all_awake=self.time_all_awake,
+            all_awake=self.all_awake,
+            asleep=self.asleep,
+            wake_time={},
+            advice_max_bits=self.advice_max_bits,
+            advice_avg_bits=self.advice_avg_bits,
+            advice_total_bits=self.advice_total_bits,
+            metrics=self.metrics.compact(),
+            trace=None,
+        )
+
+    def to_lean_dict(self) -> Dict[str, object]:
+        """JSON-able form of :meth:`lean`; the cache file payload."""
+        return {
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "n": self.n,
+            "messages": self.messages,
+            "bits": self.bits,
+            "max_message_bits": self.max_message_bits,
+            "time": self.time,
+            "time_all_awake": self.time_all_awake,
+            "all_awake": self.all_awake,
+            "asleep": sorted(repr(v) for v in self.asleep),
+            "advice_max_bits": self.advice_max_bits,
+            "advice_avg_bits": self.advice_avg_bits,
+            "advice_total_bits": self.advice_total_bits,
+            "metrics": {
+                "first_wake": self.metrics.first_wake,
+                "last_activity": self.metrics.last_activity,
+                "events_processed": self.metrics.events_processed,
+                "awake_count": self.metrics.awake_count(),
+            },
+        }
+
+    @classmethod
+    def from_lean_dict(cls, data: Dict[str, object]) -> "WakeUpResult":
+        """Rebuild a lean result from :meth:`to_lean_dict` output.
+
+        The reconstruction is exact for every summary scalar; the
+        ``asleep`` set comes back as reprs (vertices are not JSON keys)
+        and ``wake_time`` stays empty, mirroring :meth:`lean`.
+        """
+        md = data["metrics"]
+        metrics = Metrics(
+            messages_total=int(data["messages"]),
+            bits_total=int(data["bits"]),
+            max_message_bits=int(data["max_message_bits"]),
+            first_wake=md["first_wake"],
+            last_activity=float(md["last_activity"]),
+            events_processed=int(md["events_processed"]),
+        )
+        count = int(md["awake_count"])
+        if count:
+            first = md["first_wake"] or 0.0
+            last_wake = first + float(data["time_all_awake"])
+            metrics.wake_time = {
+                ("awake", i): first for i in range(count - 1)
+            }
+            metrics.wake_time[("awake", count - 1)] = last_wake
+        return cls(
+            algorithm=str(data["algorithm"]),
+            engine=str(data["engine"]),
+            n=int(data["n"]),
+            messages=int(data["messages"]),
+            bits=int(data["bits"]),
+            max_message_bits=int(data["max_message_bits"]),
+            time=float(data["time"]),
+            time_all_awake=float(data["time_all_awake"]),
+            all_awake=bool(data["all_awake"]),
+            asleep=frozenset(data["asleep"]),
+            wake_time={},
+            advice_max_bits=int(data["advice_max_bits"]),
+            advice_avg_bits=float(data["advice_avg_bits"]),
+            advice_total_bits=int(data["advice_total_bits"]),
+            metrics=metrics,
+            trace=None,
+        )
+
 
 def run_wakeup(
     setup: NetworkSetup,

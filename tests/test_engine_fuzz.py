@@ -16,22 +16,28 @@ uphold regardless of the protocol:
 
 from __future__ import annotations
 
+import pickle
 import random
 from collections import defaultdict
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.graphs.generators import connected_erdos_renyi
+from repro.experiments.parallel import CellSpec, cell_key
+from repro.graphs.generators import complete_graph, connected_erdos_renyi
 from repro.models.knowledge import Knowledge, make_setup
 from repro.sim.adversary import (
     Adversary,
+    DelayStrategy,
+    PerEdgeDelay,
     UniformRandomDelay,
     UnitDelay,
     WakeSchedule,
 )
 from repro.sim.async_engine import AsyncEngine
+from repro.sim.metrics import Metrics
 from repro.sim.node import NodeAlgorithm
+from repro.sim.runner import WakeUpResult
 from repro.sim.sync_engine import SyncEngine
 from repro.sim.trace import Trace
 
@@ -174,6 +180,162 @@ def test_async_trace_determinism(seed):
             ]
         )
     assert traces[0] == traces[1]
+
+
+# ----------------------------------------------------------------------
+# FIFO tie-breaking under adversary-equal raw delays (regression net for
+# the _FIFO_EPS mechanism in async_engine._flush)
+# ----------------------------------------------------------------------
+class _DoubleSender(NodeAlgorithm):
+    """On wake, fires two back-to-back messages down port 1."""
+
+    def on_wake(self, ctx):
+        ctx.send(1, ("first", 0))
+        ctx.send(1, ("second", 1))
+
+    def on_message(self, ctx, port, payload):
+        pass
+
+
+class _ConvergingDelay(DelayStrategy):
+    """Later sends get smaller delays, so *raw* delivery times of
+    successive messages on one channel coincide exactly — the hardest
+    tie for FIFO enforcement."""
+
+    def delay(self, src, dst, sent_at, seq):
+        return max(0.05, 0.9 - 0.1 * seq)
+
+
+@given(seed=st.integers(0, 2_000))
+@settings(**FUZZ_SETTINGS)
+def test_fifo_equal_raw_delays_deliver_in_send_order(seed):
+    """Two messages on the same directed channel whose adversary delays
+    are equal (here: PerEdgeDelay, a pure function of the edge) must be
+    delivered in send order, at strictly increasing times."""
+    g = complete_graph(2)
+    setup = make_setup(g, knowledge=Knowledge.KT0, seed=seed)
+    nodes = {0: _DoubleSender(), 1: FuzzNode(0, 0)}
+    adversary = Adversary(
+        WakeSchedule.singleton(0), PerEdgeDelay(seed=seed)
+    )
+    trace = Trace()
+    AsyncEngine(setup, nodes, adversary, seed=seed, trace=trace).run()
+    deliveries = trace.deliveries()
+    assert [m.payload[0] for m in deliveries] == ["first", "second"]
+    times = [e.time for e in trace.events if e.kind == "deliver"]
+    assert times[0] < times[1]  # the eps bump separates the tie
+
+
+def test_fifo_raw_delay_inversion_still_delivers_in_send_order():
+    """Even when the adversary's raw delays would *reorder* the channel
+    (second message assigned the shorter delay), the engine's per-channel
+    high-water mark must keep send order."""
+    g = complete_graph(2)
+    setup = make_setup(g, knowledge=Knowledge.KT0, seed=3)
+    nodes = {0: _DoubleSender(), 1: FuzzNode(0, 0)}
+    adversary = Adversary(WakeSchedule.singleton(0), _ConvergingDelay())
+    trace = Trace()
+    AsyncEngine(setup, nodes, adversary, seed=3, trace=trace).run()
+    deliveries = trace.deliveries()
+    assert [m.payload[0] for m in deliveries] == ["first", "second"]
+    times = [e.time for e in trace.events if e.kind == "deliver"]
+    assert times == sorted(times) and times[0] < times[1]
+
+
+# ----------------------------------------------------------------------
+# Lean-serialization properties (parallel executor transport + cache)
+# ----------------------------------------------------------------------
+@given(
+    n=st.integers(1, 10_000),
+    messages=st.integers(0, 10**9),
+    bits=st.integers(0, 10**12),
+    max_bits=st.integers(0, 10**6),
+    time=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    t_awake=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    adv_max=st.integers(0, 10**6),
+    adv_avg=st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+    awake_count=st.integers(0, 50),
+    events=st.integers(0, 10**9),
+)
+@settings(**FUZZ_SETTINGS)
+def test_lean_serialization_roundtrips_summary(
+    n, messages, bits, max_bits, time, t_awake, adv_max, adv_avg,
+    awake_count, events,
+):
+    metrics = Metrics(
+        messages_total=messages,
+        bits_total=bits,
+        max_message_bits=max_bits,
+        events_processed=events,
+        first_wake=0.0 if awake_count else None,
+        last_activity=time,
+    )
+    metrics.wake_time = {v: t_awake for v in range(awake_count)}
+    result = WakeUpResult(
+        algorithm="prop",
+        engine="async",
+        n=n,
+        messages=messages,
+        bits=bits,
+        max_message_bits=max_bits,
+        time=time,
+        time_all_awake=t_awake,
+        all_awake=awake_count > 0,
+        asleep=frozenset(),
+        wake_time=dict(metrics.wake_time),
+        advice_max_bits=adv_max,
+        advice_avg_bits=adv_avg,
+        advice_total_bits=adv_max,
+        metrics=metrics,
+        trace=None,
+    )
+    # pickling through the lean path (what crosses the process boundary)
+    lean = pickle.loads(pickle.dumps(result.lean()))
+    assert lean.summary() == result.summary()
+    assert lean.time_all_awake == result.time_all_awake
+    assert lean.metrics.awake_count() == awake_count
+    assert lean.trace is None and lean.wake_time == {}
+    # JSON dict round trip (what lands in the on-disk cache)
+    rebuilt = WakeUpResult.from_lean_dict(result.to_lean_dict())
+    assert rebuilt.summary() == result.summary()
+    assert rebuilt.time_all_awake == result.time_all_awake
+    assert rebuilt.all_awake == result.all_awake
+    assert rebuilt.metrics.events_processed == events
+
+
+_SPEC_INPUTS = st.tuples(
+    st.sampled_from(["flooding", "dfs-rank", "child-encoding"]),
+    st.integers(8, 512),       # n
+    st.integers(0, 5),         # trial
+    st.integers(0, 1000),      # seed
+    st.integers(0, 1000),      # delay seed
+    st.integers(2, 8),         # workload avg_degree
+    st.integers(0, 4),         # algo param k
+)
+
+
+def _spec_from(inputs) -> CellSpec:
+    name, n, trial, seed, dseed, deg, k = inputs
+    return CellSpec(
+        algorithm=name,
+        n=n,
+        trial=trial,
+        seed=seed,
+        workload={"kind": "er_single_wake", "avg_degree": float(deg),
+                  "seed": seed},
+        delay={"kind": "uniform", "seed": dseed},
+        algo_params={"k": k} if k else {},
+    )
+
+
+@given(a=_SPEC_INPUTS, b=_SPEC_INPUTS)
+@settings(**FUZZ_SETTINGS)
+def test_cache_keys_separate_all_inputs(a, b):
+    """Cache keys collide exactly when every input matches: any differing
+    seed, size, trial, adversary knob, or algorithm parameter must land
+    in a different cache slot."""
+    ka, kb = cell_key(_spec_from(a)), cell_key(_spec_from(b))
+    assert (ka == kb) == (a == b)
 
 
 @given(
