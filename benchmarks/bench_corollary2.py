@@ -105,3 +105,16 @@ def test_corollary2_representative_run(benchmark):
 
     result = benchmark(run)
     assert result.all_awake
+    # Per-phase profile (repro.obs): advice decoding vs the probe/next
+    # wake-up traffic, into the pytest-benchmark results JSON.
+    profile = result.phase_profile()
+    benchmark.extra_info["phases"] = profile
+    print_table(
+        [{"phase": name, **prof} for name, prof in profile.items()],
+        title="Corollary 2 phase profile (n=256)",
+    )
+    for phase in LogSpannerAdvice.phases:
+        assert phase in profile, f"missing declared phase {phase!r}"
+    # Decoding is pure computation; the wake wave carries the messages.
+    assert profile["advice-decode"]["messages"] == 0
+    assert profile["spanner-probe"]["messages"] == result.messages

@@ -105,3 +105,15 @@ def test_theorem3_representative_run(benchmark):
 
     result = benchmark(run)
     assert result.all_awake
+    # Per-phase profile (repro.obs): where the run's time and messages
+    # went, into the pytest-benchmark results JSON.
+    profile = result.phase_profile()
+    benchmark.extra_info["phases"] = profile
+    print_table(
+        [{"phase": name, **prof} for name, prof in profile.items()],
+        title="Theorem 3 phase profile (n=256)",
+    )
+    for phase in DfsWakeUp.phases:
+        assert phase in profile, f"missing declared phase {phase!r}"
+    # Every DFS message is attributable to the token machinery.
+    assert profile["dfs-token"]["messages"] == result.messages

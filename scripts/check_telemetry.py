@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a telemetry JSONL stream against the repro.obs schema.
+
+Checks, in order:
+
+1. every line parses as a JSON object and passes
+   :func:`repro.obs.events.validate_event` (schema version, required
+   fields, cell_end statuses);
+2. cell lifecycle: every ``cell_start`` reaches exactly one terminal
+   event (``cell_end`` or ``cell_timeout``) for the same key, and no
+   terminal event appears without its ``cell_start``;
+3. every *executed* ok cell (``cell_end`` with ``status=ok`` and
+   ``cached=false``) has at least one ``phase_end`` event for its key
+   — the profiling guarantee the engines' implicit "engine" phase
+   provides.
+
+Exit status 0 and a one-line summary on success; 1 with one line per
+violation otherwise.  ``--min-cells N`` additionally requires at least
+N ``cell_start`` events (CI smoke runs use it to prove the stream is
+not trivially empty).
+
+Usage: python scripts/check_telemetry.py PATH [--min-cells N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.events import (  # noqa: E402
+    TERMINAL_CELL_KINDS,
+    parse_line,
+    validate_event,
+)
+
+
+def check_stream(lines, min_cells: int = 0):
+    """Return (errors, summary) for an iterable of JSONL lines."""
+    errors: List[str] = []
+    events: List[Dict[str, object]] = []
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            event = parse_line(line)
+        except ValueError as exc:
+            errors.append(f"line {lineno}: unparseable ({exc})")
+            continue
+        for problem in validate_event(event):
+            errors.append(f"line {lineno}: {problem}")
+        events.append(event)
+
+    census = Counter(str(e.get("kind")) for e in events)
+    started: Dict[str, int] = {}
+    terminal: Counter = Counter()
+    executed_ok: List[str] = []
+    phase_keys = {
+        str(e["key"])
+        for e in events
+        if e.get("kind") == "phase_end" and "key" in e
+    }
+    for lineno_key, e in enumerate(events):
+        kind = e.get("kind")
+        if kind == "cell_start":
+            started[str(e.get("key"))] = lineno_key
+        elif kind in TERMINAL_CELL_KINDS:
+            key = str(e.get("key"))
+            terminal[key] += 1
+            if key not in started:
+                errors.append(
+                    f"{kind} for key {key[:12]} without a cell_start"
+                )
+            if (
+                kind == "cell_end"
+                and e.get("status") == "ok"
+                and not e.get("cached")
+            ):
+                executed_ok.append(key)
+    for key in started:
+        count = terminal[key]
+        if count != 1:
+            errors.append(
+                f"cell {key[:12]} has {count} terminal events (want 1)"
+            )
+    for key in executed_ok:
+        if key not in phase_keys:
+            errors.append(
+                f"executed cell {key[:12]} has no phase_end event"
+            )
+    if len(started) < min_cells:
+        errors.append(
+            f"only {len(started)} cell_start events (require >= {min_cells})"
+        )
+
+    summary = {
+        "events": len(events),
+        "cells": len(started),
+        "terminal": sum(terminal.values()),
+        "census": dict(sorted(census.items())),
+    }
+    return errors, summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a repro telemetry JSONL file."
+    )
+    parser.add_argument("path", help="telemetry JSONL file")
+    parser.add_argument(
+        "--min-cells",
+        type=int,
+        default=0,
+        help="require at least this many cell_start events",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            errors, summary = check_stream(fh, min_cells=args.min_cells)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    for err in errors:
+        print(f"error: {err}", file=sys.stderr)
+    census = " ".join(f"{k}={v}" for k, v in summary["census"].items())
+    print(
+        f"{args.path}: {summary['events']} events, "
+        f"{summary['cells']} cells ({census or 'empty'})"
+    )
+    if errors:
+        print(f"{len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

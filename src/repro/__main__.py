@@ -9,7 +9,13 @@ Subcommands:
 * ``sweep``   — sweep an algorithm over network sizes and print the
   fitted message-growth exponent;
 * ``lowerbounds`` — run the Theorem-1 and Theorem-2 harnesses and print
-  their frontier/shape tables.
+  their frontier/shape tables;
+* ``report``  — aggregate a ``--telemetry`` JSONL file into per-phase /
+  per-n profile tables and flag runtime outliers.
+
+Cell-based commands (``table1``, ``sweep``) accept ``--telemetry PATH``
+to stream structured events (:mod:`repro.obs`) to a JSONL file and
+``--progress {auto,on,off}`` for a live stderr progress line.
 
 Examples::
 
@@ -17,6 +23,8 @@ Examples::
     python -m repro run dfs-rank --n 300 --awake 10 --seed 1 --wave
     python -m repro table1 --n 200
     python -m repro sweep child-encoding --sizes 64 128 256 512
+    python -m repro sweep flooding --telemetry runs.jsonl
+    python -m repro report --telemetry runs.jsonl
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from repro.experiments.table1 import (
 from repro.graphs.generators import connected_erdos_renyi
 from repro.graphs.traversal import awake_distance
 from repro.models.knowledge import Knowledge, make_setup
+from repro.obs import NULL_RECORDER, JsonlRecorder, SweepProgress
 from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
 from repro.sim.runner import run_wakeup
 from repro.sim.trace_view import render_wake_wave
@@ -72,10 +81,14 @@ def _cmd_run(args) -> int:
         graph, knowledge=knowledge, bandwidth=bandwidth, seed=args.seed + 2
     )
     adversary = Adversary(WakeSchedule.all_at_once(awake), UnitDelay())
-    result = run_wakeup(
-        setup, algo, adversary, engine=engine, seed=args.seed + 3,
-        record_trace=args.wave,
-    )
+    recorder = _make_recorder(args)
+    try:
+        result = run_wakeup(
+            setup, algo, adversary, engine=engine, seed=args.seed + 3,
+            record_trace=args.wave, recorder=recorder,
+        )
+    finally:
+        recorder.close()
     rho = awake_distance(graph, awake)
     print(
         render_table(
@@ -108,11 +121,14 @@ def _cmd_table1(args) -> int:
         f"D={ctx['diameter']:.0f} rho_awk={ctx['rho_awk']:.0f}"
     )
     executor = _make_executor(args)
-    print(
-        render_table1(
-            measure_table1(n=args.n, seed=args.seed, executor=executor)
+    try:
+        print(
+            render_table1(
+                measure_table1(n=args.n, seed=args.seed, executor=executor)
+            )
         )
-    )
+    finally:
+        executor.recorder.close()
     s = executor.stats
     print(
         f"cells: {s['cells']:.0f} "
@@ -166,12 +182,60 @@ def _cmd_lowerbounds(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.analysis.telemetry import (
+        DEFAULT_OUTLIER_FACTOR,
+        render_telemetry_report,
+    )
+
+    factor = (
+        args.outlier_factor
+        if args.outlier_factor is not None
+        else DEFAULT_OUTLIER_FACTOR
+    )
+    try:
+        report = render_telemetry_report(
+            args.telemetry, outlier_factor=factor
+        )
+    except OSError as exc:
+        print(f"cannot read telemetry file: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _make_recorder(args):
+    """Telemetry sink from ``--telemetry`` (NULL_RECORDER when unset)."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return NULL_RECORDER
+    return JsonlRecorder(path)
+
+
+def _make_progress(args) -> Optional[SweepProgress]:
+    """Live progress line per ``--progress`` (auto: only on a TTY)."""
+    mode = getattr(args, "progress", "off")
+    if mode == "off":
+        return None
+    if mode == "auto" and not sys.stderr.isatty():
+        return None
+    return SweepProgress()
+
+
 def _make_executor(args) -> ParallelSweepExecutor:
+    """Build the executor plus its telemetry sink.
+
+    The recorder is reachable as ``executor.recorder`` so command
+    handlers can ``close()`` it (flushing the JSONL file) in a
+    ``finally`` block; closing the default NULL_RECORDER is a no-op.
+    """
     return ParallelSweepExecutor(
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         cell_timeout=args.cell_timeout,
+        recorder=_make_recorder(args),
+        progress=_make_progress(args),
     )
 
 
@@ -186,17 +250,25 @@ def _cmd_sweep(args) -> int:
         if not sizes:
             sizes = [args.max_n]
     executor = _make_executor(args)
-    rows, outcomes = parallel_sweep(
-        args.algorithm,
-        {"kind": "er_single_wake", "avg_degree": args.degree, "seed": args.seed},
-        sizes=sizes,
-        executor=executor,
-        engine=engine,
-        knowledge=knowledge,
-        bandwidth=bandwidth,
-        trials=args.trials,
-        seed=args.seed,
-    )
+    try:
+        rows, outcomes = parallel_sweep(
+            args.algorithm,
+            {
+                "kind": "er_single_wake",
+                "avg_degree": args.degree,
+                "seed": args.seed,
+            },
+            sizes=sizes,
+            executor=executor,
+            engine=engine,
+            knowledge=knowledge,
+            bandwidth=bandwidth,
+            trials=args.trials,
+            seed=args.seed,
+            flight_recorder=args.flight_recorder,
+        )
+    finally:
+        executor.recorder.close()
     print(render_table([r.as_dict() for r in rows]))
     failed = [o for o in outcomes if not o.ok]
     for o in failed:
@@ -204,6 +276,8 @@ def _cmd_sweep(args) -> int:
             f"cell failed: n={o.spec.n} trial={o.spec.trial} "
             f"[{o.status}] {o.error}"
         )
+        for line in o.trace_tail or []:
+            print(f"    {line}")
     if len(rows) >= 2:
         fit = fit_power_law([r.n for r in rows], [r.messages for r in rows])
         print(
@@ -252,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--wave", action="store_true", help="print the wake-up wave"
     )
+    p_run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream structured JSONL run events to this file",
+    )
 
     p_t1 = sub.add_parser("table1", help="measured Table-1 reproduction")
     p_t1.add_argument("--n", type=int, default=200)
@@ -291,6 +371,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flags(p_sweep)
 
+    p_rep = sub.add_parser(
+        "report", help="aggregate a telemetry JSONL file into profiles"
+    )
+    p_rep.add_argument(
+        "--telemetry",
+        required=True,
+        metavar="PATH",
+        help="telemetry JSONL file produced by --telemetry",
+    )
+    p_rep.add_argument(
+        "--outlier-factor",
+        type=float,
+        default=None,
+        help="flag cells slower than FACTOR x their size-class median",
+    )
+
     return parser
 
 
@@ -318,6 +414,33 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="per-cell wall-clock budget in seconds",
     )
+    parser.add_argument(
+        "--flight-recorder",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "keep the last N trace events per cell and dump them into "
+            "failure records (bounded memory)"
+        ),
+    )
+    _add_telemetry_flags(parser)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Telemetry/progress knobs (also used by the single-run command)."""
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream structured JSONL run events to this file",
+    )
+    parser.add_argument(
+        "--progress",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="live progress line on stderr (auto: only on a TTY)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -328,6 +451,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": _cmd_table1,
         "sweep": _cmd_sweep,
         "lowerbounds": _cmd_lowerbounds,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -18,6 +18,14 @@ from repro.analysis.information import (
     uniform_entropy,
 )
 from repro.analysis.report import format_value, print_table, render_table
+from repro.analysis.telemetry import (
+    cell_summary_table,
+    event_census,
+    load_events,
+    phase_profile_table,
+    render_telemetry_report,
+    runtime_outliers,
+)
 from repro.analysis.validate import validate_result
 from repro.analysis.stats import (
     Summary,
@@ -41,6 +49,12 @@ __all__ = [
     "support_size",
     "uniform_entropy",
     "format_value",
+    "cell_summary_table",
+    "event_census",
+    "load_events",
+    "phase_profile_table",
+    "render_telemetry_report",
+    "runtime_outliers",
     "validate_result",
     "print_table",
     "render_table",

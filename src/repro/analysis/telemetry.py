@@ -1,0 +1,239 @@
+"""Offline aggregation of telemetry JSONL files.
+
+A sweep run with ``--telemetry PATH`` leaves behind a stream of
+schema-versioned events (:mod:`repro.obs.events`).  This module turns
+such a file into the profile tables behind ``repro report --telemetry``:
+
+* an event census (how many of each kind, schema versions seen);
+* a per-phase/per-n profile — where wall-time and messages went,
+  aggregated from ``phase_end`` events;
+* a per-n cell summary (executed/cached/failed counts, duration
+  quantiles) from terminal cell events;
+* a runtime outlier list — executed cells whose duration exceeds
+  ``outlier_factor`` x the median for their size.
+"""
+
+from __future__ import annotations
+
+import statistics
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.analysis.report import render_table
+from repro.obs.events import (
+    TERMINAL_CELL_KINDS,
+    parse_line,
+    validate_event,
+)
+
+# A cell must be this many times slower than its size-class median to be
+# flagged as an outlier.
+DEFAULT_OUTLIER_FACTOR = 4.0
+
+
+def load_events(
+    source: Union[str, Path, TextIO],
+    strict: bool = False,
+) -> List[Dict[str, object]]:
+    """Parse a telemetry JSONL file into a list of event dicts.
+
+    Malformed or schema-invalid lines raise :class:`ValueError` when
+    ``strict``; otherwise they are skipped (a crashed run can leave a
+    torn final line — the report should still render).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_events(fh, strict=strict)
+    events: List[Dict[str, object]] = []
+    for lineno, line in enumerate(source, 1):
+        if not line.strip():
+            continue
+        try:
+            event = parse_line(line)
+        except ValueError as exc:
+            if strict:
+                raise ValueError(f"line {lineno}: {exc}") from exc
+            continue
+        errors = validate_event(event)
+        if errors:
+            if strict:
+                raise ValueError(f"line {lineno}: {'; '.join(errors)}")
+            continue
+        events.append(event)
+    return events
+
+
+def event_census(events: Sequence[Dict[str, object]]) -> Dict[str, int]:
+    """Count of events per kind, sorted by kind name."""
+    census: Dict[str, int] = {}
+    for e in events:
+        kind = str(e.get("kind"))
+        census[kind] = census.get(kind, 0) + 1
+    return dict(sorted(census.items()))
+
+
+def phase_profile_table(
+    events: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Aggregate ``phase_end`` events into per-(n, phase) rows.
+
+    Worker-side profiles are replayed by the executor as aggregate
+    ``phase_end`` events, so a sweep telemetry file aggregates here
+    exactly like an in-process run's live stream.  Rows are sorted by n
+    then descending time; ``share`` is the phase's fraction of its
+    size-class total.
+    """
+    by_n: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for e in events:
+        if e.get("kind") != "phase_end":
+            continue
+        n = int(e.get("n", 0) or 0)
+        phases = by_n.setdefault(n, {})
+        agg = phases.setdefault(
+            str(e["phase"]), {"time_s": 0.0, "messages": 0, "entries": 0}
+        )
+        agg["time_s"] += float(e.get("elapsed", 0.0))
+        agg["messages"] += int(e.get("messages", 0))
+        agg["entries"] += int(e.get("entries", 0))
+    rows: List[Dict[str, object]] = []
+    for n in sorted(by_n):
+        total = sum(p["time_s"] for p in by_n[n].values()) or 1.0
+        for name, agg in sorted(
+            by_n[n].items(), key=lambda kv: -kv[1]["time_s"]
+        ):
+            rows.append(
+                {
+                    "n": n,
+                    "phase": name,
+                    "time_s": round(agg["time_s"], 6),
+                    "share": round(agg["time_s"] / total, 3),
+                    "messages": int(agg["messages"]),
+                    "entries": int(agg["entries"]),
+                }
+            )
+    return rows
+
+
+def _executed_cells(
+    events: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Terminal cell events for cells that actually ran (not cache hits)."""
+    cells = []
+    for e in events:
+        if e.get("kind") not in TERMINAL_CELL_KINDS:
+            continue
+        if e.get("cached"):
+            continue
+        cells.append(e)
+    return cells
+
+
+def cell_summary_table(
+    events: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Per-n cell counts and duration statistics from terminal events."""
+    by_n: Dict[int, Dict[str, object]] = {}
+    for e in events:
+        if e.get("kind") not in TERMINAL_CELL_KINDS:
+            continue
+        n = int(e.get("n", 0) or 0)
+        row = by_n.setdefault(
+            n,
+            {"n": n, "cells": 0, "ok": 0, "failed": 0, "cached": 0,
+             "durations": []},
+        )
+        row["cells"] += 1
+        if e.get("cached"):
+            row["cached"] += 1
+        elif e.get("kind") == "cell_end" and e.get("status") == "ok":
+            row["ok"] += 1
+        else:
+            row["failed"] += 1
+        if not e.get("cached"):
+            row["durations"].append(float(e.get("duration", 0.0)))
+    rows: List[Dict[str, object]] = []
+    for n in sorted(by_n):
+        row = by_n[n]
+        durations = row.pop("durations")
+        row["median_s"] = (
+            round(statistics.median(durations), 6) if durations else 0.0
+        )
+        row["max_s"] = round(max(durations), 6) if durations else 0.0
+        rows.append(row)
+    return rows
+
+
+def runtime_outliers(
+    events: Sequence[Dict[str, object]],
+    factor: float = DEFAULT_OUTLIER_FACTOR,
+) -> List[Dict[str, object]]:
+    """Executed cells slower than ``factor`` x their size-class median.
+
+    A cell only counts as an outlier against at least two executed
+    cells of the same n — a singleton is its own median.
+    """
+    by_n: Dict[int, List[Dict[str, object]]] = {}
+    for e in _executed_cells(events):
+        by_n.setdefault(int(e.get("n", 0) or 0), []).append(e)
+    outliers: List[Dict[str, object]] = []
+    for n in sorted(by_n):
+        cells = by_n[n]
+        if len(cells) < 2:
+            continue
+        median = statistics.median(float(c.get("duration", 0.0)) for c in cells)
+        if median <= 0.0:
+            continue
+        for c in cells:
+            duration = float(c.get("duration", 0.0))
+            if duration > factor * median:
+                outliers.append(
+                    {
+                        "n": n,
+                        "key": str(c.get("key", ""))[:12],
+                        "kind": c.get("kind"),
+                        "duration_s": round(duration, 6),
+                        "median_s": round(median, 6),
+                        "x_median": round(duration / median, 1),
+                    }
+                )
+    outliers.sort(key=lambda o: -float(o["x_median"]))
+    return outliers
+
+
+def render_telemetry_report(
+    source: Union[str, Path, TextIO],
+    outlier_factor: float = DEFAULT_OUTLIER_FACTOR,
+) -> str:
+    """Full text report for ``repro report --telemetry PATH``."""
+    events = load_events(source)
+    parts: List[str] = []
+    census = event_census(events)
+    parts.append(
+        render_table(
+            [{"kind": k, "count": v} for k, v in census.items()]
+            or [{"kind": "(none)", "count": 0}],
+            title=f"Telemetry events ({len(events)} total)",
+        )
+    )
+    phase_rows = phase_profile_table(events)
+    if phase_rows:
+        parts.append("")
+        parts.append(render_table(phase_rows, title="Phase profile"))
+    cell_rows = cell_summary_table(events)
+    if cell_rows:
+        parts.append("")
+        parts.append(render_table(cell_rows, title="Cells by size"))
+    outliers = runtime_outliers(events, factor=outlier_factor)
+    parts.append("")
+    if outliers:
+        parts.append(
+            render_table(
+                outliers,
+                title=f"Runtime outliers (> {outlier_factor:g}x median)",
+            )
+        )
+    else:
+        parts.append(
+            f"runtime outliers: none (> {outlier_factor:g}x size-class median)"
+        )
+    return "\n".join(parts)

@@ -11,12 +11,12 @@ designed for.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.advice.oracle import AdviceMap
 from repro.errors import SimulationError
 from repro.models.knowledge import Knowledge, NetworkSetup
-from repro.sim.node import NodeAlgorithm
+from repro.sim.node import NodeAlgorithm, NodeContext
 
 Vertex = Hashable
 
@@ -25,7 +25,35 @@ ASYNC = "async"
 BOTH = "both"
 
 
-class WakeUpAlgorithm:
+class AlgorithmBase:
+    """Phase-declaration mix-in shared by algorithms and node logic.
+
+    The telemetry layer (:mod:`repro.obs`) attributes wall-time and
+    message counts to *named phases*.  An algorithm opts in by listing
+    the phases it intends to report in :attr:`phases` (documentation
+    and used by benches to assert a profile is complete) and wrapping
+    the corresponding code in ``with self.phase(ctx, "name"):`` blocks
+    inside node callbacks.  Both are optional: undeclared phases still
+    record, and the helper is a zero-overhead no-op when the engine has
+    no recorder attached (the span still feeds
+    :meth:`repro.sim.metrics.Metrics.phase_profile`).
+    """
+
+    #: Phase names this algorithm reports via :meth:`phase`; empty for
+    #: uninstrumented algorithms.
+    phases: Tuple[str, ...] = ()
+
+    @staticmethod
+    def phase(ctx: NodeContext, name: str):
+        """Context manager attributing the enclosed work to ``name``.
+
+        Thin sugar over :meth:`repro.sim.node.NodeContext.phase`, so
+        algorithm code reads ``with self.phase(ctx, "advice-decode"):``.
+        """
+        return ctx.phase(name)
+
+
+class WakeUpAlgorithm(AlgorithmBase):
     """Base class for complete wake-up algorithms / advising schemes.
 
     Class attributes (override in subclasses):
@@ -41,6 +69,9 @@ class WakeUpAlgorithm:
     ``congest_safe``
         True if every message fits in O(log n) bits, i.e. the algorithm
         is a CONGEST algorithm.
+    ``phases``
+        (From :class:`AlgorithmBase`.)  Profiling phases the node logic
+        reports via ``ctx.phase(...)``; empty if uninstrumented.
     """
 
     name: str = "abstract"

@@ -29,17 +29,24 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.core.base import ASYNC, BOTH, WakeUpAlgorithm
+from repro.core.base import ASYNC, BOTH, AlgorithmBase, WakeUpAlgorithm
 from repro.sim.node import NodeAlgorithm, NodeContext
 
 TOKEN = "dfs-token"
+
+# Profiling phases (docs/observability.md): rank sampling at
+# adversary-woken origins vs the DFS-token forwarding machinery.
+PHASE_RANK_DRAW = "rank-draw"
+PHASE_DFS_TOKEN = "dfs-token"
 
 # Rank key: (rank, origin_id), compared lexicographically as in Sec 3.1.
 RankKey = Tuple[int, int]
 
 
-class DfsWakeUpNode(NodeAlgorithm):
+class DfsWakeUpNode(AlgorithmBase, NodeAlgorithm):
     """Per-node state machine of the ranked-DFS algorithm."""
+
+    phases = (PHASE_RANK_DRAW, PHASE_DFS_TOKEN)
 
     def __init__(self, rank_exponent: int = 4):
         # Largest (rank, origin id) seen so far; (-1, -1) = nothing yet.
@@ -64,34 +71,37 @@ class DfsWakeUpNode(NodeAlgorithm):
             return
         # Rank from [n^c]: nodes know a constant-factor bound on log n,
         # so they can sample c * log2(n) random bits.
-        rank_space = 1 << (self._rank_exponent * ctx.log2_n_bound)
-        self.my_rank = ctx.rng.randrange(rank_space)
+        with self.phase(ctx, PHASE_RANK_DRAW):
+            rank_space = 1 << (self._rank_exponent * ctx.log2_n_bound)
+            self.my_rank = ctx.rng.randrange(rank_space)
         key = (self.my_rank, ctx.node_id)
         self.best = key
         self.parent_port[key] = None  # origin: backtracking past me = halt
         self.tokens_forwarded.add(key)
-        self._advance(ctx, key, visited=(ctx.node_id,))
+        with self.phase(ctx, PHASE_DFS_TOKEN):
+            self._advance(ctx, key, visited=(ctx.node_id,))
 
     def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
         tag = payload[0]
         if tag != TOKEN:
             return
-        _, rank, origin, visited = payload
-        key = (rank, origin)
-        if key < self.best:
-            # Case (b): a stale token — discard.
-            return
-        first_visit = ctx.node_id not in visited
-        if first_visit:
-            # Case (a): adopt and extend the traversal.
-            self.best = key
-            self.parent_port[key] = port
-            visited = visited + (ctx.node_id,)
-        else:
-            # The token is backtracking through us; keep exploring.
-            self.best = max(self.best, key)
-        self.tokens_forwarded.add(key)
-        self._advance(ctx, key, visited)
+        with self.phase(ctx, PHASE_DFS_TOKEN):
+            _, rank, origin, visited = payload
+            key = (rank, origin)
+            if key < self.best:
+                # Case (b): a stale token — discard.
+                return
+            first_visit = ctx.node_id not in visited
+            if first_visit:
+                # Case (a): adopt and extend the traversal.
+                self.best = key
+                self.parent_port[key] = port
+                visited = visited + (ctx.node_id,)
+            else:
+                # The token is backtracking through us; keep exploring.
+                self.best = max(self.best, key)
+            self.tokens_forwarded.add(key)
+            self._advance(ctx, key, visited)
 
     # ------------------------------------------------------------------
     def _advance(self, ctx: NodeContext, key: RankKey, visited: Tuple[int, ...]) -> None:
@@ -126,6 +136,7 @@ class DfsWakeUp(WakeUpAlgorithm):
     requires_kt1 = True
     uses_advice = False
     congest_safe = False
+    phases = DfsWakeUpNode.phases
 
     def __init__(self, rank_exponent: int = 4):
         self._rank_exponent = rank_exponent

@@ -38,7 +38,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.advice.bits import BitReader, BitWriter, Bits
 from repro.advice.oracle import AdviceMap
-from repro.core.base import BOTH, WakeUpAlgorithm
+from repro.core.base import BOTH, AlgorithmBase, WakeUpAlgorithm
 from repro.graphs.graph import Graph
 from repro.graphs.spanner import (
     baswana_sen_spanner,
@@ -50,6 +50,11 @@ from repro.sim.node import NodeAlgorithm, NodeContext
 
 SPROBE = "sp-probe"
 SNEXT = "sp-next"
+
+# Profiling phases (docs/observability.md): gamma-decoding the oracle
+# advice vs the probe/next discovery traffic over the spanner.
+PHASE_ADVICE_DECODE = "advice-decode"
+PHASE_SPANNER_PROBE = "spanner-probe"
 
 
 def encode_spanner_advice(
@@ -123,7 +128,9 @@ def spanner_cen_advice(setup: NetworkSetup, spanner: Graph) -> AdviceMap:
     )
 
 
-class _SpannerNode(NodeAlgorithm):
+class _SpannerNode(AlgorithmBase, NodeAlgorithm):
+    phases = (PHASE_ADVICE_DECODE, PHASE_SPANNER_PROBE)
+
     def __init__(self) -> None:
         self._started = False
         self._first: Optional[int] = None
@@ -132,7 +139,10 @@ class _SpannerNode(NodeAlgorithm):
 
     def _decode(self, ctx: NodeContext) -> None:
         if not self._decoded:
-            self._first, self._entries = decode_spanner_advice(ctx.advice)
+            with self.phase(ctx, PHASE_ADVICE_DECODE):
+                self._first, self._entries = decode_spanner_advice(
+                    ctx.advice
+                )
             self._decoded = True
 
     def on_wake(self, ctx: NodeContext) -> None:
@@ -141,20 +151,23 @@ class _SpannerNode(NodeAlgorithm):
         self._decode(ctx)
         self._started = True
         if self._first is not None:
-            ctx.send(self._first, (SPROBE,))
+            with self.phase(ctx, PHASE_SPANNER_PROBE):
+                ctx.send(self._first, (SPROBE,))
 
     def on_message(self, ctx: NodeContext, port: int, payload: Any) -> None:
         tag = payload[0]
         if tag == SPROBE:
             self._decode(ctx)
-            n1, n2 = self._entries.get(port, (None, None))
-            ctx.send(port, (SNEXT, n1 or 0, n2 or 0))
+            with self.phase(ctx, PHASE_SPANNER_PROBE):
+                n1, n2 = self._entries.get(port, (None, None))
+                ctx.send(port, (SNEXT, n1 or 0, n2 or 0))
         elif tag == SNEXT:
-            _, n1, n2 = payload
-            if n1:
-                ctx.send(n1, (SPROBE,))
-            if n2:
-                ctx.send(n2, (SPROBE,))
+            with self.phase(ctx, PHASE_SPANNER_PROBE):
+                _, n1, n2 = payload
+                if n1:
+                    ctx.send(n1, (SPROBE,))
+                if n2:
+                    ctx.send(n2, (SPROBE,))
 
 
 class SpannerAdvice(WakeUpAlgorithm):
@@ -166,6 +179,7 @@ class SpannerAdvice(WakeUpAlgorithm):
     requires_kt1 = False
     uses_advice = True
     congest_safe = True
+    phases = _SpannerNode.phases
 
     def __init__(
         self, k: int = 3, spanner_seed: int = 0, method: str = "baswana-sen"

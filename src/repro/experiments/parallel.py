@@ -50,11 +50,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError, WakeUpFailure
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.runner import WakeUpResult
+from repro.sim.trace import DEFAULT_FLIGHT_RECORDER, Trace
 
 # Bump whenever engine or algorithm semantics change: every cached cell
 # keyed under the old salt is then ignored and recomputed.
-CODE_SALT = "repro-cell-v1"
+# v2: lean payloads carry wake-cause counts and per-phase profiles.
+CODE_SALT = "repro-cell-v2"
 
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
 
@@ -101,6 +104,12 @@ class CellSpec:
     max_events: int = 5_000_000
     setup_seed: Optional[int] = None
     exec_seed: Optional[int] = None
+    # Flight recorder: keep a bounded ring-buffer trace of the newest
+    # N events (repro.sim.trace.Trace(maxlen=N)) and dump its tail into
+    # the failure record if the cell fails.  None disables.  Tracing
+    # does not perturb the execution, but the knob is part of the cache
+    # key like any other spec field.
+    flight_recorder: Optional[int] = None
 
     @property
     def run_seed(self) -> int:
@@ -172,8 +181,15 @@ class _CellTimeout(Exception):
     pass
 
 
-def _execute_cell(spec: CellSpec) -> Dict[str, Any]:
-    """Run one cell; returns the JSON-able success payload."""
+def _execute_cell(
+    spec: CellSpec, scratch: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Run one cell; returns the JSON-able success payload.
+
+    ``scratch`` (when given) receives the live flight-recorder trace
+    *before* the execution starts, so :func:`run_cell` can dump its
+    tail even when the run raises mid-flight.
+    """
     # Imported lazily: sweeps imports CellSpec from this module.
     from repro.experiments.sweeps import build_workload
     from repro.graphs.traversal import awake_distance
@@ -200,6 +216,11 @@ def _execute_cell(spec: CellSpec) -> Dict[str, Any]:
         _build_schedule(spec.schedule, graph, awake),
         _build_delay(spec.delay),
     )
+    trace = None
+    if spec.flight_recorder:
+        trace = Trace(maxlen=spec.flight_recorder)
+        if scratch is not None:
+            scratch["trace"] = trace
     result = run_wakeup(
         setup,
         _build_algorithm(spec.algorithm, spec.algo_params),
@@ -208,6 +229,7 @@ def _execute_cell(spec: CellSpec) -> Dict[str, Any]:
         seed=exec_seed,
         require_all_awake=spec.require_all_awake,
         max_events=spec.max_events,
+        trace=trace,
     )
     return {"rho_awk": rho, "result": result.to_lean_dict()}
 
@@ -220,8 +242,11 @@ def run_cell(
     Failures come back as structured payloads; the per-cell timeout is
     enforced worker-side with ``SIGALRM`` (interrupting even a CPU-bound
     engine loop), so a slow cell costs its budget and nothing more.
+    When the spec enables a flight recorder, every failure payload
+    carries ``trace_tail`` — the last events before things went wrong.
     """
     start = time.perf_counter()
+    scratch: Dict[str, Any] = {}
     use_alarm = (
         cell_timeout is not None
         and threading.current_thread() is threading.main_thread()
@@ -245,7 +270,7 @@ def run_cell(
             # cannot fire in the gap before the except clauses are live.
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, cell_timeout)
-            payload = _execute_cell(spec)
+            payload = _execute_cell(spec, scratch)
             payload["ok"] = True
             payload["status"] = "ok"
         except _CellTimeout:
@@ -275,6 +300,8 @@ def run_cell(
     finally:
         if use_alarm:
             signal.signal(signal.SIGALRM, old_handler)
+    if not payload.get("ok") and scratch.get("trace") is not None:
+        payload["trace_tail"] = scratch["trace"].tail()
     payload["duration"] = time.perf_counter() - start
     return payload
 
@@ -302,6 +329,10 @@ class CellOutcome:
     error: Optional[str] = None
     duration: float = 0.0
     attempts: int = 1
+    # Flight-recorder dump (last trace events before a failure); only
+    # present when the spec enabled ``flight_recorder`` and the cell
+    # failed in-process.
+    trace_tail: Optional[List[str]] = None
 
     @property
     def ok(self) -> bool:
@@ -326,6 +357,8 @@ class CellOutcome:
             rec["time_all_awake"] = self.result.time_all_awake
         if self.error is not None:
             rec["error"] = self.error
+        if self.trace_tail is not None:
+            rec["trace_tail"] = self.trace_tail
         return rec
 
 
@@ -349,6 +382,7 @@ def _outcome_from_payload(
         cached=cached,
         error=payload.get("error"),
         duration=float(payload.get("duration", 0.0)),
+        trace_tail=payload.get("trace_tail"),
     )
 
 
@@ -376,6 +410,22 @@ class ParallelSweepExecutor:
     retries:
         How often a cell whose *worker process died* is retried (in an
         isolated single-worker pool).  Default 1.
+    recorder:
+        Telemetry sink (:mod:`repro.obs`).  The executor frames the
+        sweep with ``sweep_start``/``sweep_end`` and publishes a
+        per-cell lifecycle as outcomes land in the parent process:
+        ``cell_start``, then the cell's per-phase profile replayed as
+        aggregate ``phase_end`` events (the phase data crosses the IPC
+        boundary inside the lean result payload), then exactly one
+        terminal event — ``cell_end`` (ok/failed/crashed) or
+        ``cell_timeout``.  ``cell_retry`` marks isolated re-attempts
+        after a worker death.
+    progress:
+        Live-progress object (duck-typed like
+        :class:`repro.obs.progress.SweepProgress`): ``start(total,
+        workers)`` before the first cell, ``cell(outcome)`` per
+        completion (cache hits included), ``finish(stats)`` at the
+        end.
     """
 
     def __init__(
@@ -386,6 +436,8 @@ class ParallelSweepExecutor:
         cell_timeout: Optional[float] = None,
         chunk_size: Optional[int] = None,
         retries: int = 1,
+        recorder: Optional[Recorder] = None,
+        progress: Optional[Any] = None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else workers
         self.cache_dir = Path(cache_dir)
@@ -393,6 +445,8 @@ class ParallelSweepExecutor:
         self.cell_timeout = cell_timeout
         self.chunk_size = chunk_size
         self.retries = retries
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.progress = progress
         self.stats: Dict[str, float] = {}
 
     # -- public API ------------------------------------------------------
@@ -401,6 +455,12 @@ class ParallelSweepExecutor:
         input order.  Never raises for per-cell failures."""
         cells = list(cells)
         start = time.perf_counter()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "sweep_start", cells=len(cells), workers=self.workers
+            )
+        if self.progress is not None:
+            self.progress.start(len(cells), self.workers)
         outcomes: Dict[int, CellOutcome] = {}
         misses: List[Tuple[int, CellSpec, str]] = []
         for idx, spec in enumerate(cells):
@@ -410,6 +470,7 @@ class ParallelSweepExecutor:
                 outcomes[idx] = _outcome_from_payload(
                     spec, key, payload, cached=True
                 )
+                self._publish(outcomes[idx])
             else:
                 misses.append((idx, spec, key))
 
@@ -421,6 +482,7 @@ class ParallelSweepExecutor:
                         spec, key, payload, cached=False
                     )
                     self._maybe_cache(key, payload)
+                    self._publish(outcomes[idx])
             else:
                 self._run_pool(misses, outcomes)
 
@@ -433,7 +495,64 @@ class ParallelSweepExecutor:
             "failed": sum(1 for o in ordered if not o.ok),
             "wall_time": time.perf_counter() - start,
         }
+        if self.recorder.enabled:
+            self.recorder.emit("sweep_end", **self.stats)
+        if self.progress is not None:
+            self.progress.finish(self.stats)
         return ordered
+
+    # -- telemetry -------------------------------------------------------
+    def _publish(self, outcome: CellOutcome) -> None:
+        """Emit one cell's full telemetry lifecycle and feed the
+        progress renderer.  Called exactly once per cell, in the parent
+        process, as the outcome lands (so event order within a cell is
+        guaranteed even though cells complete out of order)."""
+        rec = self.recorder
+        if rec.enabled:
+            spec = outcome.spec
+            rec.emit(
+                "cell_start",
+                key=outcome.key,
+                algorithm=spec.algorithm,
+                n=spec.n,
+                trial=spec.trial,
+                seed=spec.seed,
+                engine=spec.engine,
+                cached=outcome.cached,
+            )
+            if outcome.result is not None:
+                for name, prof in outcome.result.phase_profile().items():
+                    rec.emit(
+                        "phase_end",
+                        phase=name,
+                        elapsed=prof["time_s"],
+                        messages=prof["messages"],
+                        entries=prof["entries"],
+                        key=outcome.key,
+                        n=spec.n,
+                        aggregate=True,
+                    )
+            if outcome.status == "timeout":
+                rec.emit(
+                    "cell_timeout",
+                    key=outcome.key,
+                    duration=outcome.duration,
+                    budget=self.cell_timeout,
+                    n=spec.n,
+                )
+            else:
+                rec.emit(
+                    "cell_end",
+                    key=outcome.key,
+                    status=outcome.status,
+                    cached=outcome.cached,
+                    duration=outcome.duration,
+                    n=spec.n,
+                    attempts=outcome.attempts,
+                    error=outcome.error,
+                )
+        if self.progress is not None:
+            self.progress.cell(outcome)
 
     # -- pool management -------------------------------------------------
     def _run_pool(
@@ -477,6 +596,7 @@ class ParallelSweepExecutor:
                         spec, key, payload, cached=False
                     )
                     self._maybe_cache(key, payload)
+                    self._publish(outcomes[idx])
         if broke:
             self._run_isolated(survivors, outcomes)
 
@@ -493,6 +613,10 @@ class ParallelSweepExecutor:
             attempts = 0
             while True:
                 attempts += 1
+                if attempts > 1 and self.recorder.enabled:
+                    self.recorder.emit(
+                        "cell_retry", key=key, attempt=attempts, n=spec.n
+                    )
                 try:
                     with ProcessPoolExecutor(
                         max_workers=1, mp_context=ctx
@@ -513,12 +637,14 @@ class ParallelSweepExecutor:
                         ),
                         attempts=attempts,
                     )
+                    self._publish(outcomes[idx])
                     break
                 outcomes[idx] = _outcome_from_payload(
                     spec, key, payload, cached=False
                 )
                 outcomes[idx].attempts = attempts
                 self._maybe_cache(key, payload)
+                self._publish(outcomes[idx])
                 break
 
     # -- cache -----------------------------------------------------------

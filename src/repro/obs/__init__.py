@@ -1,0 +1,58 @@
+"""Telemetry subsystem: structured run events, per-phase profiling,
+and live sweep progress.
+
+Three layers, cheap by default:
+
+* :mod:`repro.obs.events` — the stable, schema-versioned vocabulary of
+  run events (``run_start``, ``phase_end``, ``cell_timeout``, ...)
+  serialized as JSONL;
+* :mod:`repro.obs.recorder` — the :class:`Recorder` sink protocol with
+  counters, gauges, and monotonic timers.  The default
+  :data:`NULL_RECORDER` is a no-op whose ``enabled`` flag lets hot
+  paths skip event construction entirely, so an un-instrumented run
+  pays nothing;
+* :mod:`repro.obs.phases` — the :class:`PhaseTracker` that both
+  engines own: algorithm code opens ``ctx.phase("dfs-token")`` spans
+  and the tracker attributes wall-time and message counts to them
+  (accumulated in :class:`~repro.sim.metrics.Metrics` even without an
+  active recorder, so benches always see a profile).
+
+:mod:`repro.obs.progress` renders live sweep progress (done/failed/
+cached counts, throughput, ETA, slowest-cell watchlist) from the
+per-cell callbacks of the parallel executor.
+
+See ``docs/observability.md`` for the event schema and the phase-hook
+guide for algorithm authors.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    make_event,
+    parse_line,
+    validate_event,
+)
+from repro.obs.phases import PhaseTracker
+from repro.obs.progress import SweepProgress
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    Recorder,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "make_event",
+    "parse_line",
+    "validate_event",
+    "PhaseTracker",
+    "SweepProgress",
+    "NULL_RECORDER",
+    "JsonlRecorder",
+    "MemoryRecorder",
+    "NullRecorder",
+    "Recorder",
+]

@@ -1,0 +1,145 @@
+"""Per-phase attribution of wall-time and message counts.
+
+The full paper reasons about *phases* of an execution — awake-distance
+growth, token traversals, advice decoding — that total metrics
+collapse.  A :class:`PhaseTracker` makes them measurable: each engine
+owns one, node code opens spans through
+:meth:`repro.sim.node.NodeContext.phase`, and on span exit the tracker
+attributes
+
+* **wall-time** — monotonic seconds inside the span — and
+* **messages** — sends queued on the opening node's outbox during the
+  span, plus any sends the engine flushed while it was open
+
+to the phase name in :class:`~repro.sim.metrics.Metrics` (so profiles
+exist even with the default :class:`~repro.obs.recorder.NullRecorder`)
+and, when a recorder is enabled, emits ``phase_start``/``phase_end``
+events.
+
+Spans nest; attribution is *inclusive* (an outer phase's totals
+contain its inner phases'), matching how profiler call trees read.
+Wall-times are wall-clock and therefore not deterministic; message
+counts and entry counts are, and only those may be asserted by tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.sim.metrics import Metrics
+
+
+class _PhaseSpan:
+    """One ``with``-block of a named phase."""
+
+    __slots__ = ("_tracker", "_name", "_outbox")
+
+    def __init__(self, tracker: "PhaseTracker", name: str, outbox):
+        self._tracker = tracker
+        self._name = name
+        self._outbox = outbox
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._tracker._start(self._name, self._outbox)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracker._stop()
+
+
+class _NullSpan:
+    """Reusable no-op span for contexts without a tracker."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class PhaseTracker:
+    """Engine-owned stack of open phase spans.
+
+    Parameters
+    ----------
+    metrics:
+        The engine's accumulator; receives
+        :meth:`~repro.sim.metrics.Metrics.record_phase` on span exit.
+    recorder:
+        Event sink; ``phase_start``/``phase_end`` are only emitted when
+        it is enabled.
+    fields:
+        Static context (``n``, ``algorithm``, ...) attached to every
+        emitted phase event.
+    """
+
+    __slots__ = ("metrics", "recorder", "fields", "_stack")
+
+    def __init__(
+        self,
+        metrics: Metrics,
+        recorder: Recorder = NULL_RECORDER,
+        fields: Optional[Dict[str, Any]] = None,
+    ):
+        self.metrics = metrics
+        self.recorder = recorder
+        self.fields = fields or {}
+        # (name, t0, messages_total snapshot, outbox, outbox-len snapshot)
+        self._stack: List[Tuple[str, float, int, Any, int]] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, outbox=None) -> _PhaseSpan:
+        """A context manager for one phase entry.  ``outbox`` is the
+        opening node's send queue (sends land there during callbacks
+        and are flushed by the engine only afterwards)."""
+        return _PhaseSpan(self, name, outbox)
+
+    @property
+    def current(self) -> Optional[str]:
+        return self._stack[-1][0] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    def _start(self, name: str, outbox) -> None:
+        self._stack.append(
+            (
+                name,
+                time.perf_counter(),
+                self.metrics.messages_total,
+                outbox,
+                len(outbox) if outbox is not None else 0,
+            )
+        )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "phase_start", phase=name, depth=len(self._stack),
+                **self.fields,
+            )
+
+    def _stop(self) -> None:
+        name, t0, msgs0, outbox, out0 = self._stack.pop()
+        elapsed = time.perf_counter() - t0
+        messages = self.metrics.messages_total - msgs0
+        if outbox is not None:
+            messages += len(outbox) - out0
+        self.metrics.record_phase(name, elapsed, messages)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "phase_end",
+                phase=name,
+                elapsed=elapsed,
+                messages=messages,
+                entries=1,
+                depth=len(self._stack) + 1,
+                **self.fields,
+            )

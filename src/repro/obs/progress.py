@@ -1,0 +1,123 @@
+"""Live sweep progress rendering.
+
+The :class:`~repro.experiments.parallel.ParallelSweepExecutor` calls a
+progress object — any object with ``start``/``cell``/``finish``
+methods — as cells complete.  :class:`SweepProgress` is the terminal
+implementation: a single status line with completion counts, cell
+throughput, an ETA, and a watchlist of the slowest cells seen so far
+(the cells worth staring at when a sweep drags).
+
+On a TTY the line redraws in place (``\\r``); on a non-TTY stream
+(CI logs) updates are throttled to one full line per
+``non_tty_interval`` seconds so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds != seconds or seconds < 0 or seconds == float("inf"):
+        return "?"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class SweepProgress:
+    """Renders executor progress to a terminal stream."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.1,
+        non_tty_interval: float = 2.0,
+        watchlist: int = 3,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.non_tty_interval = non_tty_interval
+        self.watch_size = watchlist
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._total = 0
+        self._done = 0
+        self._ok = 0
+        self._failed = 0
+        self._cached = 0
+        self._t0 = 0.0
+        self._last_render = 0.0
+        self._last_len = 0
+        # (duration, label) of the slowest executed cells, descending.
+        self._slowest: List[Tuple[float, str]] = []
+
+    # -- executor callbacks ---------------------------------------------
+    def start(self, total: int, workers: int) -> None:
+        self._total = total
+        self._t0 = time.perf_counter()
+        self._last_render = 0.0
+
+    def cell(self, outcome: Any) -> None:
+        """One finished cell; ``outcome`` is a
+        :class:`~repro.experiments.parallel.CellOutcome`."""
+        self._done += 1
+        if outcome.ok:
+            self._ok += 1
+        else:
+            self._failed += 1
+        if outcome.cached:
+            self._cached += 1
+        elif outcome.duration > 0:
+            label = f"n={outcome.spec.n}#{outcome.spec.trial}"
+            if not outcome.ok:
+                label += f"[{outcome.status}]"
+            self._slowest.append((outcome.duration, label))
+            self._slowest.sort(reverse=True)
+            del self._slowest[self.watch_size:]
+        self._render()
+
+    def finish(self, stats: Dict[str, float]) -> None:
+        self._render(final=True)
+        if self._tty and self._last_len:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- rendering -------------------------------------------------------
+    def render_line(self) -> str:
+        elapsed = max(1e-9, time.perf_counter() - self._t0)
+        rate = self._done / elapsed
+        remaining = self._total - self._done
+        eta = _fmt_eta(remaining / rate) if rate > 0 else "?"
+        line = (
+            f"cells {self._done}/{self._total} "
+            f"(ok {self._ok}, failed {self._failed}, "
+            f"cached {self._cached}) | {rate:.1f} cell/s | eta {eta}"
+        )
+        if self._slowest:
+            watch = ", ".join(
+                f"{label} {dur:.2f}s" for dur, label in self._slowest
+            )
+            line += f" | slowest: {watch}"
+        return line
+
+    def _render(self, final: bool = False) -> None:
+        now = time.perf_counter()
+        interval = (
+            self.min_interval if self._tty else self.non_tty_interval
+        )
+        if not final and now - self._last_render < interval:
+            return
+        self._last_render = now
+        line = self.render_line()
+        if self._tty:
+            pad = " " * max(0, self._last_len - len(line))
+            self.stream.write("\r" + line + pad)
+            self._last_len = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()

@@ -27,6 +27,8 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.models.knowledge import NetworkSetup
+from repro.obs.phases import PhaseTracker
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
 from repro.sim.messages import Message, Send, bit_size
 from repro.sim.metrics import Metrics
@@ -43,6 +45,10 @@ _DELIVER = 1
 # tau-normalized time accounting.
 _FIFO_EPS = 1e-9
 
+# Telemetry heartbeat cadence: one engine_step event per this many
+# processed events (when a recorder is enabled).
+_STEP_EVERY = 1_000
+
 
 class AsyncEngine:
     """Runs one asynchronous execution of a wake-up algorithm."""
@@ -55,12 +61,17 @@ class AsyncEngine:
         seed: int = 0,
         max_events: int = 5_000_000,
         trace: Optional[Trace] = None,
+        recorder: Optional[Recorder] = None,
     ):
         self.setup = setup
         self.nodes = nodes
         self.adversary = adversary
         self.metrics = Metrics()
         self.trace = trace
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.phases = PhaseTracker(
+            self.metrics, self.recorder, fields={"n": setup.n}
+        )
         self._max_events = max_events
         self._seq = itertools.count()
         self._heap: List[Tuple[float, int, int, Any]] = []
@@ -73,7 +84,9 @@ class AsyncEngine:
             node_rng = random.Random(
                 (seed * 1_000_003 + setup.id_of(v)) % 2**63
             )
-            self._ctx[v] = NodeContext(v, setup, node_rng)
+            ctx = NodeContext(v, setup, node_rng)
+            ctx._phases = self.phases
+            self._ctx[v] = ctx
         missing = set(setup.graph.vertices()) - set(nodes)
         if missing:
             raise SimulationError(
@@ -87,23 +100,42 @@ class AsyncEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> Metrics:
-        """Process events until quiescence; returns the metrics."""
+        """Process events until quiescence; returns the metrics.
+
+        The whole event loop runs inside the implicit ``"engine"``
+        phase, so every execution has at least one phase profile entry
+        even for algorithms that declare no phases of their own.
+        """
+        rec = self.recorder
         processed = 0
-        while self._heap:
-            time, _tie, kind, data = heapq.heappop(self._heap)
-            if time < self._now - 1e-12:
-                raise SimulationError("event scheduled in the past")
-            self._now = max(self._now, time)
-            processed += 1
-            if processed > self._max_events:
-                raise SimulationError(
-                    f"event budget of {self._max_events} exceeded; "
-                    "the protocol is likely not terminating"
-                )
-            if kind == _WAKE:
-                self._handle_wake(data, time, cause="adversary")
-            else:
-                self._handle_delivery(data, time)
+        self.phases._start("engine", None)
+        try:
+            while self._heap:
+                time, _tie, kind, data = heapq.heappop(self._heap)
+                if time < self._now - 1e-12:
+                    raise SimulationError("event scheduled in the past")
+                self._now = max(self._now, time)
+                processed += 1
+                if processed > self._max_events:
+                    raise SimulationError(
+                        f"event budget of {self._max_events} exceeded; "
+                        "the protocol is likely not terminating"
+                    )
+                if kind == _WAKE:
+                    self._handle_wake(data, time, cause="adversary")
+                else:
+                    self._handle_delivery(data, time)
+                if rec.enabled and processed % _STEP_EVERY == 0:
+                    rec.emit(
+                        "engine_step",
+                        events=processed,
+                        now=self._now,
+                        awake=self.metrics.awake_count(),
+                        n=self.setup.n,
+                        engine="async",
+                    )
+        finally:
+            self.phases._stop()
         self.metrics.events_processed = processed
         return self.metrics
 

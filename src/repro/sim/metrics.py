@@ -40,6 +40,12 @@ class Metrics:
     first_wake: Optional[float] = None
     last_activity: float = 0.0
     events_processed: int = 0
+    # Per-phase attribution (repro.obs.phases.PhaseTracker): wall-time
+    # is real-clock profiling data and therefore nondeterministic;
+    # message and entry counts are deterministic.
+    phase_time: Dict[str, float] = field(default_factory=dict)
+    phase_messages: Counter = field(default_factory=Counter)
+    phase_entries: Counter = field(default_factory=Counter)
 
     # ------------------------------------------------------------------
     # Recording (called by engines)
@@ -72,6 +78,15 @@ class Metrics:
         """Advance the last-activity clock."""
         if time > self.last_activity:
             self.last_activity = time
+
+    def record_phase(
+        self, name: str, elapsed: float, messages: int = 0
+    ) -> None:
+        """Attribute one closed phase span (see
+        :class:`repro.obs.phases.PhaseTracker`)."""
+        self.phase_time[name] = self.phase_time.get(name, 0.0) + elapsed
+        self.phase_messages[name] += messages
+        self.phase_entries[name] += 1
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -119,6 +134,27 @@ class Metrics:
             self.last_activity - t for t in self.wake_time.values()
         )
 
+    def wake_cause_counts(self) -> Dict[str, int]:
+        """How many nodes woke per cause ("adversary"/"message"),
+        sorted by cause name — the cause-of-wake breakdown benches
+        report."""
+        counts = Counter(self.wake_cause.values())
+        return {cause: counts[cause] for cause in sorted(counts)}
+
+    def phase_profile(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase profile, sorted by descending wall-time:
+        ``{phase: {"time_s", "messages", "entries"}}``."""
+        return {
+            name: {
+                "time_s": self.phase_time[name],
+                "messages": int(self.phase_messages[name]),
+                "entries": int(self.phase_entries[name]),
+            }
+            for name in sorted(
+                self.phase_time, key=self.phase_time.get, reverse=True
+            )
+        }
+
     def wake_latency(self, v: Vertex) -> Optional[float]:
         """Time between the global first wake and v's wake, or None if v
         never woke."""
@@ -150,7 +186,10 @@ class Metrics:
         replaced by placeholder entries that preserve the derived
         quantities (:meth:`awake_count`, :attr:`time_all_awake`) without
         carrying a per-vertex dict (placeholder keys hash stably and
-        compare equal across processes).
+        compare equal across processes).  The wake-cause map gets the
+        same treatment: per-vertex attribution is dropped, per-cause
+        counts (:meth:`wake_cause_counts`) survive exactly.  Phase
+        profiles are small (O(#phases)) and copied through whole.
         """
         m = Metrics(
             messages_total=self.messages_total,
@@ -159,6 +198,9 @@ class Metrics:
             first_wake=self.first_wake,
             last_activity=self.last_activity,
             events_processed=self.events_processed,
+            phase_time=dict(self.phase_time),
+            phase_messages=Counter(self.phase_messages),
+            phase_entries=Counter(self.phase_entries),
         )
         if self.wake_time:
             count = len(self.wake_time)
@@ -166,4 +208,27 @@ class Metrics:
             first = self.first_wake if self.first_wake is not None else last_wake
             m.wake_time = {("awake", i): first for i in range(count - 1)}
             m.wake_time[("awake", count - 1)] = last_wake
+            # Re-attach causes to the placeholder keys in sorted-cause
+            # order: which placeholder carries which cause is arbitrary,
+            # the per-cause counts are preserved bit-for-bit.
+            causes = [
+                c
+                for cause, cnt in self.wake_cause_counts().items()
+                for c in [cause] * cnt
+            ]
+            m.wake_cause = {
+                ("awake", i): cause for i, cause in enumerate(causes)
+            }
         return m
+
+    @staticmethod
+    def placeholder_wake_causes(counts: Dict[str, int]) -> Dict:
+        """Rebuild a placeholder ``wake_cause`` map (keys aligned with
+        :meth:`compact`'s wake-time placeholders) from per-cause
+        counts; used by the lean-result deserializer."""
+        causes = [
+            c
+            for cause in sorted(counts)
+            for c in [cause] * int(counts[cause])
+        ]
+        return {("awake", i): cause for i, cause in enumerate(causes)}

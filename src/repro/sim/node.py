@@ -42,6 +42,7 @@ class NodeContext:
         "local_round",
         "_awake",
         "wake_cause",
+        "_phases",
     )
 
     def __init__(self, vertex: Vertex, setup: NetworkSetup, rng: random.Random):
@@ -55,6 +56,10 @@ class NodeContext:
         #: ``on_wake`` (Sec 3.2: adversary-woken nodes mark themselves
         #: active; message-woken status depends on the message).
         self.wake_cause: Optional[str] = None
+        #: The engine's PhaseTracker (repro.obs.phases); None when the
+        #: context lives outside an engine (direct construction in
+        #: tests), in which case phase() spans are no-ops.
+        self._phases = None
 
     # ------------------------------------------------------------------
     # Identity and local knowledge (always available)
@@ -135,6 +140,26 @@ class NodeContext:
         """Send the same payload over every port."""
         for p in self.ports:
             self.send(p, payload)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def phase(self, name: str):
+        """Open a named profiling phase: ``with ctx.phase("decode"):``.
+
+        Wall-time inside the span and messages queued during it are
+        attributed to ``name`` in the run's
+        :class:`~repro.sim.metrics.Metrics` (and emitted as
+        ``phase_start``/``phase_end`` telemetry events when a recorder
+        is attached).  Spans nest, attribution is inclusive, and the
+        call is a no-op outside an engine — algorithms can instrument
+        unconditionally.  See docs/observability.md.
+        """
+        if self._phases is None:
+            from repro.obs.phases import NULL_SPAN
+
+            return NULL_SPAN
+        return self._phases.span(name, self._outbox)
 
     # ------------------------------------------------------------------
     # Engine plumbing

@@ -13,6 +13,7 @@ from typing import Dict, Hashable, Optional
 
 from repro.errors import SimulationError, WakeUpFailure
 from repro.models.knowledge import NetworkSetup
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
 from repro.sim.async_engine import AsyncEngine
 from repro.sim.metrics import Metrics
@@ -64,6 +65,12 @@ class WakeUpResult:
             "advice_max_bits": float(self.advice_max_bits),
             "advice_avg_bits": float(self.advice_avg_bits),
         }
+
+    def phase_profile(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase wall-time/message attribution (see
+        :meth:`repro.sim.metrics.Metrics.phase_profile`); survives the
+        lean/IPC path."""
+        return self.metrics.phase_profile()
 
     # ------------------------------------------------------------------
     # Lean serialization (process boundary / on-disk result cache)
@@ -117,6 +124,8 @@ class WakeUpResult:
                 "last_activity": self.metrics.last_activity,
                 "events_processed": self.metrics.events_processed,
                 "awake_count": self.metrics.awake_count(),
+                "wake_causes": self.metrics.wake_cause_counts(),
+                "phases": self.metrics.phase_profile(),
             },
         }
 
@@ -137,6 +146,10 @@ class WakeUpResult:
             last_activity=float(md["last_activity"]),
             events_processed=int(md["events_processed"]),
         )
+        for name, prof in md.get("phases", {}).items():
+            metrics.phase_time[name] = float(prof["time_s"])
+            metrics.phase_messages[name] = int(prof["messages"])
+            metrics.phase_entries[name] = int(prof["entries"])
         count = int(md["awake_count"])
         if count:
             first = md["first_wake"] or 0.0
@@ -145,6 +158,9 @@ class WakeUpResult:
                 ("awake", i): first for i in range(count - 1)
             }
             metrics.wake_time[("awake", count - 1)] = last_wake
+            metrics.wake_cause = Metrics.placeholder_wake_causes(
+                md.get("wake_causes", {})
+            )
         return cls(
             algorithm=str(data["algorithm"]),
             engine=str(data["engine"]),
@@ -175,6 +191,8 @@ def run_wakeup(
     max_events: int = 5_000_000,
     max_rounds: int = 1_000_000,
     record_trace: bool = False,
+    trace: Optional[Trace] = None,
+    recorder: Optional[Recorder] = None,
 ) -> WakeUpResult:
     """Execute one wake-up run end to end.
 
@@ -194,10 +212,30 @@ def run_wakeup(
         If True (default) a run that leaves nodes asleep raises
         :class:`~repro.errors.WakeUpFailure`; benches measuring failure
         probability set this to False.
+    trace:
+        A pre-built :class:`~repro.sim.trace.Trace` to record into —
+        how callers get a bounded flight recorder
+        (``Trace(maxlen=...)``) that they still hold when the run
+        raises.  Implies ``record_trace``.
+    recorder:
+        Telemetry sink (:mod:`repro.obs`); the default
+        :data:`~repro.obs.recorder.NULL_RECORDER` costs nothing.
+        ``run_start``/``run_end`` frame the engine's own events, and
+        ``run_end`` is emitted (with ``all_awake=False``) even when the
+        run ends in :class:`~repro.errors.WakeUpFailure`.
     """
     if engine not in ("async", "sync"):
         raise SimulationError(f"unknown engine {engine!r}")
     algorithm.validate_setup(setup, engine)
+    rec = recorder if recorder is not None else NULL_RECORDER
+    if rec.enabled:
+        rec.emit(
+            "run_start",
+            algorithm=algorithm.name,
+            engine=engine,
+            n=setup.n,
+            seed=seed,
+        )
 
     advice_max = advice_avg = advice_total = 0
     if algorithm.uses_advice:
@@ -219,12 +257,13 @@ def run_wakeup(
             advice_avg = advice_total / len(lengths) if lengths else 0.0
 
     nodes = algorithm.build_nodes(setup)
-    trace = Trace() if record_trace else None
+    if trace is None and record_trace:
+        trace = Trace()
 
     if engine == "async":
         eng = AsyncEngine(
             setup, nodes, adversary, seed=seed, max_events=max_events,
-            trace=trace,
+            trace=trace, recorder=rec,
         )
         metrics = eng.run()
         time_complexity = metrics.time_complexity
@@ -232,7 +271,7 @@ def run_wakeup(
     else:
         eng = SyncEngine(
             setup, nodes, adversary, seed=seed, max_rounds=max_rounds,
-            trace=trace,
+            trace=trace, recorder=rec,
         )
         metrics = eng.run()
         time_complexity = float(eng.round_complexity)
@@ -241,6 +280,17 @@ def run_wakeup(
     asleep = frozenset(
         v for v in setup.graph.vertices() if v not in metrics.wake_time
     )
+    if rec.enabled:
+        rec.emit(
+            "run_end",
+            algorithm=algorithm.name,
+            engine=engine,
+            n=setup.n,
+            messages=metrics.messages_total,
+            time=time_complexity,
+            all_awake=not asleep,
+            asleep=len(asleep),
+        )
     if asleep and require_all_awake:
         raise WakeUpFailure(asleep)
 

@@ -28,6 +28,8 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.models.knowledge import NetworkSetup
+from repro.obs.phases import PhaseTracker
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
 from repro.sim.messages import Message, bit_size
 from repro.sim.metrics import Metrics
@@ -35,6 +37,10 @@ from repro.sim.node import NodeAlgorithm, NodeContext
 from repro.sim.trace import Trace
 
 Vertex = Hashable
+
+# Telemetry heartbeat cadence: one engine_step event per this many
+# lock-step rounds (when a recorder is enabled).
+_STEP_EVERY_ROUNDS = 128
 
 
 class SyncEngine:
@@ -48,12 +54,17 @@ class SyncEngine:
         seed: int = 0,
         max_rounds: int = 1_000_000,
         trace: Optional[Trace] = None,
+        recorder: Optional[Recorder] = None,
     ):
         self.setup = setup
         self.nodes = nodes
         self.adversary = adversary
         self.metrics = Metrics()
         self.trace = trace
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.phases = PhaseTracker(
+            self.metrics, self.recorder, fields={"n": setup.n}
+        )
         self._max_rounds = max_rounds
         self._seq = itertools.count()
         self.rounds_executed = 0
@@ -69,7 +80,9 @@ class SyncEngine:
             node_rng = random.Random(
                 (master_seed * 1_000_003 + setup.id_of(v)) % 2**63
             )
-            self._ctx[v] = NodeContext(v, setup, node_rng)
+            ctx = NodeContext(v, setup, node_rng)
+            ctx._phases = self.phases
+            self._ctx[v] = ctx
         missing = set(setup.graph.vertices()) - set(nodes)
         if missing:
             raise SimulationError(
@@ -84,7 +97,19 @@ class SyncEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> Metrics:
-        """Execute rounds until quiescence; returns the metrics."""
+        """Execute rounds until quiescence; returns the metrics.
+
+        As in the async engine, the whole round loop runs inside the
+        implicit ``"engine"`` phase.
+        """
+        self.phases._start("engine", None)
+        try:
+            return self._run_rounds()
+        finally:
+            self.phases._stop()
+
+    def _run_rounds(self) -> Metrics:
+        rec = self.recorder
         in_flight: List[Message] = []
         r = 0
         last_wake_round = max(self._schedule) if self._schedule else 0
@@ -118,6 +143,15 @@ class SyncEngine:
             self.rounds_executed = r + 1
             self.metrics.events_processed += 1
             r += 1
+            if rec.enabled and r % _STEP_EVERY_ROUNDS == 0:
+                rec.emit(
+                    "engine_step",
+                    events=self.metrics.events_processed,
+                    now=float(r),
+                    awake=self.metrics.awake_count(),
+                    n=self.setup.n,
+                    engine="sync",
+                )
             anyone_active = any(
                 self._ctx[v]._awake and self.nodes[v].wants_round()
                 for v in self._order

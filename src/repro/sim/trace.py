@@ -6,16 +6,31 @@ Theorem-2 harness (:mod:`repro.lowerbounds.theorem2`) compares traces of
 executions on ID-swapped configurations to test the Lemma 5/6 argument;
 tests use traces to assert fine-grained protocol behaviour (e.g. "each
 DFS token traverses each tree edge at most twice", Claim 1).
+
+Passing ``maxlen`` turns the trace into a bounded **flight recorder**:
+only the most recent ``maxlen`` events are kept (O(maxlen) memory
+however long the run), with :attr:`dropped` counting the evicted
+prefix.  The parallel executor uses this mode to attach the tail of a
+failing cell's execution to its failure record
+(``CellSpec.flight_recorder``) — the last events before a wake-up
+failure are usually exactly the diagnostic one needs.  The query
+helpers (:meth:`sends`, :meth:`messages_between`, ...) then describe
+the retained window only.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Hashable, List, Optional, Tuple
 
 from repro.sim.messages import Message
 
 Vertex = Hashable
+
+#: Flight-recorder tail length used by default when a cell requests
+#: crash tracing without choosing a size.
+DEFAULT_FLIGHT_RECORDER = 64
 
 
 @dataclass(frozen=True)
@@ -32,25 +47,51 @@ class TraceEvent:
     vertex: Vertex
     detail: Any
 
+    def describe(self) -> str:
+        """Compact one-line rendering (flight-recorder dumps)."""
+        if self.kind == "wake":
+            return f"t={self.time:.6g} wake {self.vertex!r} by {self.detail}"
+        msg = self.detail
+        arrow = "->" if self.kind == "send" else "=>"
+        return (
+            f"t={self.time:.6g} {self.kind} "
+            f"{msg.src!r}{arrow}{msg.dst!r} {msg.payload!r}"
+        )
+
 
 class Trace:
-    """Ordered event log of a single execution."""
+    """Ordered event log of a single execution.
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+    ``maxlen=None`` (default) keeps every event; an integer keeps only
+    the newest ``maxlen`` (ring-buffer / flight-recorder mode).
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("Trace maxlen must be a positive integer")
+        self.maxlen = maxlen
+        self.events: "deque[TraceEvent]" = deque(maxlen=maxlen)
+        #: Events evicted from the front of the ring buffer (always 0
+        #: in unbounded mode).
+        self.dropped: int = 0
+
+    def _append(self, event: TraceEvent) -> None:
+        if self.maxlen is not None and len(self.events) == self.maxlen:
+            self.dropped += 1
+        self.events.append(event)
 
     # -- recording hooks (called by engines) -----------------------------
     def wake(self, time: float, vertex: Vertex, cause: str) -> None:
         """Record a wake event ("adversary" or "message")."""
-        self.events.append(TraceEvent(time, "wake", vertex, cause))
+        self._append(TraceEvent(time, "wake", vertex, cause))
 
     def send(self, time: float, msg: Message) -> None:
         """Record a message send."""
-        self.events.append(TraceEvent(time, "send", msg.src, msg))
+        self._append(TraceEvent(time, "send", msg.src, msg))
 
     def deliver(self, time: float, msg: Message) -> None:
         """Record a message delivery."""
-        self.events.append(TraceEvent(time, "deliver", msg.dst, msg))
+        self._append(TraceEvent(time, "deliver", msg.dst, msg))
 
     # -- queries -----------------------------------------------------------
     def sends(self) -> List[Message]:
@@ -80,6 +121,19 @@ class Trace:
             for m in self.sends()
             if (m.src, m.dst) in ((u, v), (v, u))
         )
+
+    def tail(self, count: Optional[int] = None) -> List[str]:
+        """The last ``count`` (default: all retained) events rendered
+        as one-line strings — the flight-recorder dump format.  A
+        leading marker line reports how much history was evicted."""
+        events = list(self.events)
+        if count is not None:
+            events = events[-count:]
+        lines = [e.describe() for e in events]
+        hidden = self.dropped + (len(self.events) - len(events))
+        if hidden:
+            lines.insert(0, f"... ({hidden} earlier events not retained)")
+        return lines
 
     def __len__(self) -> int:
         return len(self.events)

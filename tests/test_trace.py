@@ -55,6 +55,68 @@ class TestManualRecording:
         assert t.messages_between("b", "c") == 0
 
 
+class TestRingBuffer:
+    def test_maxlen_bounds_retained_events(self):
+        t = Trace(maxlen=3)
+        for i in range(10):
+            t.send(float(i), _msg("a", "b", seq=i))
+        assert len(t) == 3
+        assert t.dropped == 7
+        assert [m.seq for m in t.sends()] == [7, 8, 9]
+
+    def test_unbounded_trace_never_drops(self):
+        t = Trace()
+        for i in range(100):
+            t.send(float(i), _msg("a", "b", seq=i))
+        assert len(t) == 100
+        assert t.dropped == 0
+
+    def test_invalid_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(maxlen=0)
+        with pytest.raises(ValueError):
+            Trace(maxlen=-4)
+
+    def test_tail_marks_evicted_history(self):
+        t = Trace(maxlen=2)
+        t.wake(0.0, "a", "adversary")
+        t.send(1.0, _msg("a", "b"))
+        t.deliver(2.0, _msg("a", "b"))
+        tail = t.tail()
+        assert tail[0] == "... (1 earlier events not retained)"
+        assert len(tail) == 3  # marker + 2 retained lines
+        assert "=>" in tail[-1]  # delivery rendering
+
+    def test_tail_count_limits_further(self):
+        t = Trace()
+        for i in range(5):
+            t.send(float(i), _msg("a", "b", seq=i))
+        tail = t.tail(2)
+        assert tail[0] == "... (3 earlier events not retained)"
+        assert len(tail) == 3
+
+    def test_tail_without_eviction_has_no_marker(self):
+        t = Trace(maxlen=10)
+        t.wake(0.0, "a", "adversary")
+        assert t.tail() == ["t=0 wake 'a' by adversary"]
+
+    def test_engine_fills_ring_buffer(self):
+        g = cycle_graph(12)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+        adversary = Adversary(WakeSchedule.singleton(0), UnitDelay())
+        flight = Trace(maxlen=5)
+        r = run_wakeup(
+            setup, Flooding(), adversary, engine="async", trace=flight
+        )
+        assert r.trace is flight
+        assert len(flight) == 5
+        assert flight.dropped > 0
+        # query helpers describe the retained window only
+        assert len(flight.sends()) + len(flight.deliveries()) + len(
+            flight.wakes()
+        ) == 5
+
+
 class TestEngineIntegration:
     def test_sends_equal_deliveries_at_quiescence(self):
         g = cycle_graph(8)
