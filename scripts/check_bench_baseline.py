@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a hot-path benchmark run against the committed baseline.
+
+Guards the engine fast lane in CI: ``benchmarks/bench_engine_hotpath.py``
+writes a candidate JSON, and this script fails (exit 1) when
+
+1. either file is missing, unparsable, or missing required fields
+   (every case needs ``algorithm``/``engine``/``n``/``events``/
+   ``messages``/``wall_s``/``events_per_sec``), or
+2. any case present in both files regressed by more than
+   ``--max-regression`` (default 0.30, i.e. events/sec below 70% of
+   the baseline's).
+
+Cases present in only one file are reported but not fatal: the
+baseline is refreshed deliberately (rerun the bench with
+``--out BENCH_engine.json`` and commit) and may trail newly added
+cases.  Faster-than-baseline results never fail — shared CI runners
+are noisy in both directions, which is also why the default tolerance
+is as wide as 30%: this catches "the fast lane fell off" (2x), not
+single-digit jitter.
+
+Usage:
+    python scripts/check_bench_baseline.py CANDIDATE [--baseline PATH]
+        [--max-regression FRACTION]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Must match benchmarks/bench_engine_hotpath.py CASE_FIELDS.
+REQUIRED_CASE_FIELDS = (
+    "algorithm",
+    "engine",
+    "n",
+    "events",
+    "messages",
+    "wall_s",
+    "events_per_sec",
+)
+
+
+def load_cases(path: Path, errors: list) -> dict:
+    """Map (algorithm, engine, n) -> case dict, validating fields."""
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        errors.append(f"{path}: missing")
+        return {}
+    except json.JSONDecodeError as exc:
+        errors.append(f"{path}: not valid JSON ({exc})")
+        return {}
+    cases = payload.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append(f"{path}: no 'cases' list")
+        return {}
+    out = {}
+    for i, case in enumerate(cases):
+        missing = [f for f in REQUIRED_CASE_FIELDS if f not in case]
+        if missing:
+            errors.append(f"{path}: case {i} missing fields {missing}")
+            continue
+        if case["events_per_sec"] <= 0:
+            errors.append(f"{path}: case {i} has non-positive events_per_sec")
+            continue
+        out[(case["algorithm"], case["engine"], case["n"])] = case
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", type=Path,
+                        help="bench output to check")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_engine.json",
+                        help="committed baseline (default: BENCH_engine.json)")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="tolerated fractional events/sec drop "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    errors: list = []
+    baseline = load_cases(args.baseline, errors)
+    candidate = load_cases(args.candidate, errors)
+
+    shared = sorted(set(baseline) & set(candidate), key=repr)
+    if baseline and candidate and not shared:
+        errors.append("no cases in common between baseline and candidate")
+    for key in sorted(set(baseline) ^ set(candidate), key=repr):
+        which = "baseline" if key in baseline else "candidate"
+        print(f"note: case {key} only in {which}")
+
+    for key in shared:
+        base = baseline[key]["events_per_sec"]
+        cand = candidate[key]["events_per_sec"]
+        ratio = cand / base
+        status = "ok"
+        if ratio < 1.0 - args.max_regression:
+            status = "REGRESSION"
+            errors.append(
+                f"case {key}: {cand:.0f} events/s is "
+                f"{(1.0 - ratio) * 100:.0f}% below baseline {base:.0f}"
+            )
+        print(f"{key}: baseline {base:10.0f}  candidate {cand:10.0f}  "
+              f"({ratio:.2f}x)  {status}")
+
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    print(f"{len(shared)} cases within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,7 +57,10 @@ from repro.sim.trace import DEFAULT_FLIGHT_RECORDER, Trace
 # Bump whenever engine or algorithm semantics change: every cached cell
 # keyed under the old salt is then ignored and recomputed.
 # v2: lean payloads carry wake-cause counts and per-phase profiles.
-CODE_SALT = "repro-cell-v2"
+# v3: FIFO deliveries are clamped to the tau = 1 bound, the sync
+#     engine rounds fractional wake times up and honours drop
+#     strategies — all of which can shift cached time/message values.
+CODE_SALT = "repro-cell-v3"
 
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
 

@@ -27,6 +27,9 @@ class PortAssignment:
         self._graph = graph
         self._to_neighbor: Dict[Vertex, List[Vertex]] = {}
         self._to_port: Dict[Vertex, Dict[Vertex, int]] = {}
+        # Per-vertex flat lookup tables, built lazily by table(); the
+        # engines' hot-path replacement for neighbor()/port() pairs.
+        self._tables: Dict[Vertex, Tuple[Tuple[Vertex, ...], Tuple[int, ...]]] = {}
         for v in graph.vertices():
             nbrs = order.get(v)
             if nbrs is None:
@@ -88,3 +91,32 @@ class PortAssignment:
     def neighbors_in_port_order(self, v: Vertex) -> List[Vertex]:
         """v's neighbors listed by ascending port number."""
         return list(self._to_neighbor[v])
+
+    def table(self, v: Vertex) -> Tuple[Tuple[Vertex, ...], Tuple[int, ...]]:
+        """The flat send table of v: ``(neighbors, back_ports)``.
+
+        ``neighbors[p - 1]`` is ``port_v(p)`` and ``back_ports[p - 1]``
+        is the port *at that neighbor* leading back to v — exactly the
+        two lookups an engine needs per send.  The table is validated
+        once (every neighbor must know a return port; a missing one
+        means the adjacency is asymmetric) and cached, so the engines'
+        inner loops are two list indexings with no per-send range or
+        membership checks.
+        """
+        tab = self._tables.get(v)
+        if tab is None:
+            nbrs = self._to_neighbor.get(v)
+            if nbrs is None:
+                raise SimulationError(f"vertex {v!r} unknown")
+            back = []
+            for u in nbrs:
+                port_map = self._to_port.get(u)
+                if port_map is None or v not in port_map:
+                    raise SimulationError(
+                        f"asymmetric adjacency at {v!r}: neighbor {u!r} "
+                        f"has no return port to {v!r}"
+                    )
+                back.append(port_map[v])
+            tab = (tuple(nbrs), tuple(back))
+            self._tables[v] = tab
+        return tab

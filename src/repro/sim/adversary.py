@@ -33,10 +33,20 @@ def _stable_unit(*parts: object) -> float:
     which breaks replayability and poisons any on-disk result cache
     keyed by the adversary configuration.
     """
-    data = repr(parts).encode("utf-8")
-    h = int.from_bytes(
-        hashlib.blake2b(data, digest_size=8).digest(), "big"
-    )
+    return _unit_from_bytes(repr(parts).encode("utf-8"))
+
+
+def _unit_from_bytes(
+    data: bytes,
+    _blake2b=hashlib.blake2b,
+    _from_bytes=int.from_bytes,
+) -> float:
+    """The digest step of :func:`_stable_unit`, shared with callers
+    that assemble the repr bytes themselves (hot paths that cache a
+    per-edge prefix instead of re-repring every argument).  The
+    default arguments pre-bind the builtins: this runs once per sent
+    message."""
+    h = _from_bytes(_blake2b(data, digest_size=8).digest(), "big")
     return ((h % 2**32) + 0.5) / 2**32
 
 # ----------------------------------------------------------------------
@@ -49,7 +59,9 @@ class WakeSchedule:
 
     ``times()`` returns the full schedule; vertices absent from it are
     only ever woken by receiving a message.  Times are floats for the
-    asynchronous engine and are floored to ints by the synchronous one.
+    asynchronous engine; the synchronous one rounds them *up* to the
+    next integer round (a wake at t = 2.7 lands in round 3 — never
+    earlier than the adversary scheduled).
     """
 
     def __init__(self, times: Dict[Vertex, float]):
@@ -205,10 +217,22 @@ class UniformRandomDelay(DelayStrategy):
             raise SimulationError("lo must be in (0, 1]")
         self._seed = seed
         self._lo = lo
+        self._span = 1.0 - lo
+        # Per-edge repr prefix: only the seq varies between sends on
+        # one edge, so the (seed, src, dst) part of the hash input is
+        # assembled once per edge instead of once per send.
+        self._prefix: Dict[Tuple[Vertex, Vertex], str] = {}
 
     def delay(self, src, dst, sent_at, seq):
-        u = _stable_unit(self._seed, repr(src), repr(dst), seq)
-        return self._lo + (1.0 - self._lo) * u
+        # Byte-identical to _stable_unit(seed, repr(src), repr(dst),
+        # seq): a tuple's repr joins element reprs with ", ".
+        key = (src, dst)
+        prefix = self._prefix.get(key)
+        if prefix is None:
+            prefix = f"({self._seed!r}, {repr(src)!r}, {repr(dst)!r}, "
+            self._prefix[key] = prefix
+        u = _unit_from_bytes((prefix + repr(seq) + ")").encode("utf-8"))
+        return self._lo + self._span * u
 
 
 class PerEdgeDelay(DelayStrategy):

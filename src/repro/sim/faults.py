@@ -10,7 +10,8 @@ violated?*  This module adds an optional message-loss layer:
   lost.  Like delays, drops are **oblivious**: pure functions of
   (edge, sequence number, construction seed), never of node state.
 * :class:`FaultyAdversary` — an :class:`~repro.sim.adversary.Adversary`
-  carrying a drop strategy; the async engine consults it at send time.
+  carrying a drop strategy; both engines consult it at send time (a
+  dropped message is charged to the sender and never delivered).
 
 Findings the tests encode: flooding tolerates substantial loss on
 dense graphs (every node has many wake chances), while the tree-based
@@ -74,6 +75,6 @@ class TargetedDrops(DropStrategy):
 
 @dataclass
 class FaultyAdversary(Adversary):
-    """Adversary with message loss (async engine only)."""
+    """Adversary with message loss (both engines)."""
 
     drops: DropStrategy = field(default_factory=NoDrops)

@@ -38,20 +38,37 @@ class NodeContext:
         "vertex",
         "_setup",
         "_outbox",
-        "rng",
+        "_rng",
         "local_round",
         "_awake",
         "wake_cause",
         "_phases",
+        "_degree",
+        "_ports",
     )
 
-    def __init__(self, vertex: Vertex, setup: NetworkSetup, rng: random.Random):
+    def __init__(
+        self,
+        vertex: Vertex,
+        setup: NetworkSetup,
+        rng: "random.Random | int",
+    ):
         self.vertex = vertex
         self._setup = setup
         self._outbox: List[Send] = []
-        self.rng = rng
+        # Either a ready Random or a seed; in the latter case the
+        # generator is built on first access.  Engines pass seeds so
+        # that runs of rng-free algorithms never pay for n generator
+        # initializations (Random.seed dominates engine setup
+        # otherwise).  The stream is identical either way.
+        self._rng = rng
         self.local_round = 0
         self._awake = False
+        # Degree and the 1-based port range never change during a run;
+        # caching them keeps send()/broadcast() free of per-call
+        # dict-of-dict lookups (they sit on the engine hot path).
+        self._degree = setup.ports.degree(vertex)
+        self._ports = range(1, self._degree + 1)
         #: "adversary" or "message" — set by the engine immediately before
         #: ``on_wake`` (Sec 3.2: adversary-woken nodes mark themselves
         #: active; message-woken status depends on the message).
@@ -69,13 +86,22 @@ class NodeContext:
         return self._setup.id_of(self.vertex)
 
     @property
+    def rng(self) -> random.Random:
+        """This node's private random generator (lazily constructed)."""
+        r = self._rng
+        if type(r) is int:
+            r = random.Random(r)
+            self._rng = r
+        return r
+
+    @property
     def degree(self) -> int:
-        return self._setup.ports.degree(self.vertex)
+        return self._degree
 
     @property
     def ports(self) -> range:
         """All 1-based ports of this node."""
-        return self._setup.ports.ports(self.vertex)
+        return self._ports
 
     @property
     def log2_n_bound(self) -> int:
@@ -124,13 +150,20 @@ class NodeContext:
     # ------------------------------------------------------------------
     def send(self, port: int, payload: Any) -> None:
         """Queue a message over a port; size-checked against the
-        bandwidth model at flush time."""
-        if not 1 <= port <= self.degree:
+        bandwidth model at flush time.
+
+        Payloads are logically immutable once sent: the engine hands
+        the *same object* to the receiver and caches its measured bit
+        size, so mutating a payload after ``send`` has always been
+        undefined behaviour.  Send tuples (as every built-in algorithm
+        does), or copy before mutating.
+        """
+        if not 1 <= port <= self._degree:
             raise SimulationError(
                 f"node {self.vertex!r}: port {port} out of range "
-                f"1..{self.degree}"
+                f"1..{self._degree}"
             )
-        self._outbox.append(Send(port=port, payload=payload))
+        self._outbox.append(Send(port, payload))
 
     def send_to(self, neighbor_id: int, payload: Any) -> None:
         """Send addressed by neighbor ID (KT1 convenience)."""
@@ -138,8 +171,11 @@ class NodeContext:
 
     def broadcast(self, payload: Any) -> None:
         """Send the same payload over every port."""
-        for p in self.ports:
-            self.send(p, payload)
+        # Ports from the node's own range are valid by construction, so
+        # this skips send()'s per-port range check.
+        append = self._outbox.append
+        for p in self._ports:
+            append(Send(p, payload))
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -23,7 +23,7 @@ wake-ups remain, and no node wants further rounds.
 from __future__ import annotations
 
 import itertools
-import random
+import math
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -31,7 +31,8 @@ from repro.models.knowledge import NetworkSetup
 from repro.obs.phases import PhaseTracker
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
-from repro.sim.messages import Message, bit_size
+from repro.sim.faults import NoDrops
+from repro.sim.messages import Message, bit_size_cached
 from repro.sim.metrics import Metrics
 from repro.sim.node import NodeAlgorithm, NodeContext
 from repro.sim.trace import Trace
@@ -41,6 +42,9 @@ Vertex = Hashable
 # Telemetry heartbeat cadence: one engine_step event per this many
 # lock-step rounds (when a recorder is enabled).
 _STEP_EVERY_ROUNDS = 128
+
+# Sentinel for the payload-identity memo ("no payload seen yet").
+_UNSET = object()
 
 
 class SyncEngine:
@@ -69,7 +73,6 @@ class SyncEngine:
         self._seq = itertools.count()
         self.rounds_executed = 0
 
-        master_seed = seed
         self._ctx: Dict[Vertex, NodeContext] = {}
         self._wake_round: Dict[Vertex, int] = {}
         # Deterministic processing order for nodes within a round.
@@ -77,9 +80,8 @@ class SyncEngine:
             setup.graph.vertices(), key=lambda v: setup.id_of(v)
         )
         for v in setup.graph.vertices():
-            node_rng = random.Random(
-                (master_seed * 1_000_003 + setup.id_of(v)) % 2**63
-            )
+            # Seed only; the context builds the Random on first use.
+            node_rng = (seed * 1_000_003 + setup.id_of(v)) % 2**63
             ctx = NodeContext(v, setup, node_rng)
             ctx._phases = self.phases
             self._ctx[v] = ctx
@@ -88,12 +90,38 @@ class SyncEngine:
             raise SimulationError(
                 f"{len(missing)} vertices have no algorithm instance"
             )
-        # Wake times floored to integer rounds.
+        # Fractional wake times round *up* to the next integer round:
+        # a wake scheduled at t = 2.7 cannot land in round 2 — that
+        # would wake the node before the adversary asked to.  ceil is
+        # exact for integer-valued floats (ceil(2.0) == 2), so integer
+        # schedules are unaffected.
         self._schedule: Dict[int, List[Vertex]] = {}
         for v, t in adversary.schedule.times().items():
             if not setup.graph.has_vertex(v):
                 raise SimulationError(f"schedule wakes unknown vertex {v!r}")
-            self._schedule.setdefault(int(t), []).append(v)
+            self._schedule.setdefault(math.ceil(t), []).append(v)
+
+        # Hot-path fast lane (mirrors AsyncEngine): per-vertex send
+        # tables and a flush path specialized for the run's fixed
+        # drop/trace configuration.
+        self._tables = {
+            v: setup.ports.table(v) for v in setup.graph.vertices()
+        }
+        drops = getattr(adversary, "drops", None)
+        if type(drops) is NoDrops:
+            drops = None  # structurally a no-op; take the fast lane
+        self._drops = drops
+        if drops is None and trace is None:
+            self._flush = self._flush_fast
+        else:
+            self._flush = self._flush_full
+        # LOCAL runs (cap None) skip the per-send bandwidth call.
+        self._bw_cap = setup.bandwidth.cap_bits
+        # Payload-identity memo (see AsyncEngine): broadcasts reuse one
+        # payload object across ports, and constant payloads across
+        # calls; holding the reference keeps the id() stable.
+        self._memo_payload: Any = _UNSET
+        self._memo_bits = 0
 
     # ------------------------------------------------------------------
     def run(self) -> Metrics:
@@ -110,6 +138,7 @@ class SyncEngine:
 
     def _run_rounds(self) -> Metrics:
         rec = self.recorder
+        rec_enabled = rec.enabled  # fixed for the run; hoisted
         in_flight: List[Message] = []
         r = 0
         last_wake_round = max(self._schedule) if self._schedule else 0
@@ -137,13 +166,13 @@ class SyncEngine:
 
             # collect sends emitted during this round --------------------
             for v in self._order:
-                for send in self._ctx[v]._drain():
-                    in_flight.append(self._make_message(v, send, r))
+                if self._ctx[v]._outbox:
+                    self._flush(v, r, in_flight)
 
             self.rounds_executed = r + 1
             self.metrics.events_processed += 1
             r += 1
-            if rec.enabled and r % _STEP_EVERY_ROUNDS == 0:
+            if rec_enabled and r % _STEP_EVERY_ROUNDS == 0:
                 rec.emit(
                     "engine_step",
                     events=self.metrics.events_processed,
@@ -193,22 +222,94 @@ class SyncEngine:
         ctx.local_round = r - self._wake_round[v]
         self.nodes[v].on_message(ctx, msg.dst_port, msg.payload)
 
-    def _make_message(self, v: Vertex, send, r: int) -> Message:
-        dst = self.setup.ports.neighbor(v, send.port)
-        dst_port = self.setup.ports.port(dst, v)
-        bits = bit_size(send.payload)
-        self.setup.bandwidth.check(bits)
-        msg = Message(
-            src=v,
-            dst=dst,
-            dst_port=dst_port,
-            src_port=send.port,
-            payload=send.payload,
-            bits=bits,
-            sent_at=float(r),
-            seq=next(self._seq),
-        )
-        self.metrics.record_send(v, dst, bits)
-        if self.trace is not None:
-            self.trace.send(float(r), msg)
-        return msg
+    # ------------------------------------------------------------------
+    # Flush paths — one is bound to self._flush at init.  Both turn a
+    # node's queued sends into in-flight messages for the next round;
+    # the fast lane drops the per-send drop/trace branches entirely.
+    # ------------------------------------------------------------------
+    def _flush_fast(self, v: Vertex, r: int, in_flight: List[Message]) -> None:
+        """Fast lane: no drop strategy, no trace.
+
+        Metric counters are accumulated locally and written back once
+        per flush (Metrics.record_send, batched); the write-back sits
+        in a ``finally`` so totals stay correct even when a bandwidth
+        violation aborts the flush mid-loop.
+        """
+        ctx = self._ctx[v]
+        sends = ctx._outbox
+        if not sends:
+            return
+        ctx._outbox = []
+        neighbors, back_ports = self._tables[v]
+        sent_at = float(r)
+        seq_next = self._seq.__next__
+        cap = self._bw_cap
+        metrics = self.metrics
+        edge_messages = metrics.edge_messages
+        append = in_flight.append
+        last_payload = self._memo_payload
+        last_bits = self._memo_bits
+        n_sent = 0
+        bits_sum = 0
+        max_bits = metrics.max_message_bits
+        try:
+            for send in sends:
+                port = send.port
+                dst = neighbors[port - 1]
+                payload = send.payload
+                if payload is last_payload:
+                    bits = last_bits
+                else:
+                    bits = bit_size_cached(payload)
+                    last_payload = payload
+                    last_bits = bits
+                if cap is not None and bits > cap:
+                    self.setup.bandwidth.check(bits)
+                n_sent += 1
+                bits_sum += bits
+                if bits > max_bits:
+                    max_bits = bits
+                edge_messages[(v, dst)] += 1
+                append(
+                    Message(
+                        v, dst, back_ports[port - 1], port, payload, bits,
+                        sent_at, seq_next(),
+                    )
+                )
+        finally:
+            self._memo_payload = last_payload
+            self._memo_bits = last_bits
+            if n_sent:
+                metrics.messages_total += n_sent
+                metrics.bits_total += bits_sum
+                metrics.max_message_bits = max_bits
+                metrics.sent_by[v] += n_sent
+
+    def _flush_full(self, v: Vertex, r: int, in_flight: List[Message]) -> None:
+        """General path: fault injection and/or tracing enabled."""
+        ctx = self._ctx[v]
+        neighbors, back_ports = self._tables[v]
+        sent_at = float(r)
+        drops = self._drops
+        trace = self.trace
+        for send in ctx._drain():
+            port = send.port
+            dst = neighbors[port - 1]
+            payload = send.payload
+            bits = bit_size_cached(payload)
+            self.setup.bandwidth.check(bits)
+            seq = next(self._seq)
+            if drops is not None and drops.drops(v, dst, seq):
+                # Fault injection (repro.sim.faults): as in the async
+                # engine, the message is charged to the sender but
+                # never delivered (and never enters the trace).
+                self.metrics.record_send(v, dst, bits)
+                continue
+            msg = Message(
+                v, dst, back_ports[port - 1], port, payload, bits,
+                sent_at, seq,
+            )
+            self.metrics.record_send(v, dst, bits)
+            if trace is not None:
+                trace.send(sent_at, msg)
+            in_flight.append(msg)

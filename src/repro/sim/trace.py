@@ -33,7 +33,7 @@ Vertex = Hashable
 DEFAULT_FLIGHT_RECORDER = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded event.
 

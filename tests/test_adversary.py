@@ -87,6 +87,23 @@ class TestDelays:
         d = UniformRandomDelay(seed=1)
         assert d.delay(0, 1, 0.0, 5) == d.delay(0, 1, 99.0, 5)
 
+    def test_uniform_prefix_cache_matches_stable_unit(self):
+        """The hot path assembles the hash input from a cached
+        per-edge prefix; it must stay byte-for-byte equivalent to the
+        documented ``_stable_unit(seed, repr(src), repr(dst), seq)``
+        construction (on-disk caches are keyed by these values)."""
+        from repro.sim.adversary import _stable_unit
+
+        d = UniformRandomDelay(seed=42, lo=0.05)
+        for src, dst in [(0, 1), ("a", "b"), ((1, 2), (3, 4)), (-7, 7)]:
+            for seq in (0, 1, 999, 12345678901234567890):
+                u = _stable_unit(42, repr(src), repr(dst), seq)
+                expected = 0.05 + (1.0 - 0.05) * u
+                # Twice: first call populates the prefix cache, the
+                # second exercises the cached path.
+                assert d.delay(src, dst, 0.0, seq) == expected
+                assert d.delay(src, dst, 3.5, seq) == expected
+
     def test_uniform_bad_lo(self):
         with pytest.raises(SimulationError):
             UniformRandomDelay(lo=0.0)

@@ -238,6 +238,37 @@ class TestSyncSemantics:
         metrics = eng.run()
         assert metrics.wake_time[1] == 1.0  # woken in round 1
 
+    def test_fractional_wake_time_rounds_up(self):
+        """A wake scheduled at t = 2.7 must land in round 3, never
+        round 2 (regression: the schedule used to be floored with
+        ``int(t)``, waking nodes before the adversary asked to)."""
+        g = path_graph(2)
+        setup = make_setup(g, seed=1)
+        nodes = {0: ChattyOnWake(count=1), 1: Recorder()}
+        eng = SyncEngine(
+            setup,
+            nodes,
+            Adversary(
+                WakeSchedule({0: 2.7}), UnitDelay()
+            ),
+        )
+        metrics = eng.run()
+        assert metrics.wake_time[0] == 3.0
+
+    def test_integer_valued_float_wake_time_unchanged(self):
+        """ceil is exact for integer-valued floats: t = 2.0 stays in
+        round 2."""
+        g = path_graph(2)
+        setup = make_setup(g, seed=1)
+        nodes = {0: ChattyOnWake(count=1), 1: Recorder()}
+        eng = SyncEngine(
+            setup,
+            nodes,
+            Adversary(WakeSchedule({0: 2.0}), UnitDelay()),
+        )
+        metrics = eng.run()
+        assert metrics.wake_time[0] == 2.0
+
     def test_local_round_counts_from_own_wake(self):
         class RoundLogger(NodeAlgorithm):
             def __init__(self):

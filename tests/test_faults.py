@@ -8,7 +8,7 @@ from repro.core.flooding import Flooding
 from repro.errors import SimulationError
 from repro.graphs.generators import complete_graph, connected_erdos_renyi, path_graph
 from repro.models.knowledge import Knowledge, make_setup
-from repro.sim.adversary import UnitDelay, WakeSchedule
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
 from repro.sim.faults import (
     BernoulliDrops,
     FaultyAdversary,
@@ -18,7 +18,10 @@ from repro.sim.faults import (
 from repro.sim.runner import run_wakeup
 
 
-def run_faulty(graph, algo, awake, drops, seed=0, knowledge=Knowledge.KT0):
+def run_faulty(
+    graph, algo, awake, drops, seed=0, knowledge=Knowledge.KT0,
+    engine="async",
+):
     setup = make_setup(graph, knowledge=knowledge, bandwidth="CONGEST", seed=seed)
     adversary = FaultyAdversary(
         schedule=WakeSchedule.all_at_once(awake),
@@ -26,7 +29,7 @@ def run_faulty(graph, algo, awake, drops, seed=0, knowledge=Knowledge.KT0):
         drops=drops,
     )
     return run_wakeup(
-        setup, algo, adversary, engine="async", seed=seed + 1,
+        setup, algo, adversary, engine=engine, seed=seed + 1,
         require_all_awake=False,
     )
 
@@ -117,3 +120,84 @@ class TestRobustnessContrast:
         # A path has zero redundancy: some prefix survives, the rest
         # stays asleep with overwhelming probability.
         assert not r.all_awake
+
+
+class TestSyncEngineDrops:
+    """The synchronous engine must honour drop strategies too
+    (regression: it used to ignore ``adversary.drops`` entirely, so
+    every fault-injection result silently differed between engines)."""
+
+    def test_targeted_cut_stops_the_wave(self):
+        g = path_graph(12)
+        r = run_faulty(
+            g, Flooding(), [0], TargetedDrops([(5, 6)]), seed=1,
+            engine="sync",
+        )
+        assert not r.all_awake
+        assert all(v in r.wake_time for v in range(6))
+        assert all(v not in r.wake_time for v in range(6, 12))
+
+    def test_dropped_messages_charged_to_sender(self):
+        g = path_graph(4)
+        r = run_faulty(
+            g, Flooding(), [0], TargetedDrops([(1, 2)]), seed=3,
+            engine="sync",
+        )
+        assert not r.all_awake
+        # Node 1 transmitted on both its ports even though the 1->2
+        # packet was lost: message complexity charges the sender.
+        assert r.metrics.sent_by[1] == 2
+        # ...but the loss is real: node 2 never received anything.
+        assert r.metrics.received_by[2] == 0
+
+    def test_bernoulli_loss_observable_on_sync_engine(self):
+        g = path_graph(25)
+        r = run_faulty(
+            g, Flooding(), [0], BernoulliDrops(0.6, seed=9), seed=4,
+            engine="sync",
+        )
+        assert not r.all_awake
+
+
+class TestCrossEngineNoDropConformance:
+    """Structural no-drop configurations must be indistinguishable from
+    a plain :class:`~repro.sim.adversary.Adversary` — on both engines,
+    to the last bit of every metric.  This pins the engines' fast-lane
+    specialization (``NoDrops`` takes the drop-free path) to the
+    general path's semantics."""
+
+    @pytest.mark.parametrize("engine", ["async", "sync"])
+    @pytest.mark.parametrize(
+        "drops", [None, NoDrops(), BernoulliDrops(0.0, seed=5)]
+    )
+    def test_metrics_bit_identical(self, engine, drops):
+        g = connected_erdos_renyi(24, 0.25, seed=7)
+        setup = make_setup(g, knowledge=Knowledge.KT0, seed=7)
+        schedule = WakeSchedule.all_at_once([0, 5])
+        if drops is None:
+            adversary = Adversary(schedule=schedule, delays=UnitDelay())
+        else:
+            adversary = FaultyAdversary(
+                schedule=schedule, delays=UnitDelay(), drops=drops
+            )
+        r = run_wakeup(
+            setup, Flooding(), adversary, engine=engine, seed=11
+        )
+        baseline = run_wakeup(
+            setup,
+            Flooding(),
+            Adversary(schedule=schedule, delays=UnitDelay()),
+            engine=engine,
+            seed=11,
+        )
+        a, b = r.metrics, baseline.metrics
+        assert a.messages_total == b.messages_total
+        assert a.bits_total == b.bits_total
+        assert a.max_message_bits == b.max_message_bits
+        assert a.sent_by == b.sent_by
+        assert a.received_by == b.received_by
+        assert a.edge_messages == b.edge_messages
+        assert a.wake_time == b.wake_time
+        assert a.wake_cause == b.wake_cause
+        assert a.first_wake == b.first_wake
+        assert a.last_activity == b.last_activity

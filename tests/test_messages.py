@@ -70,6 +70,35 @@ class TestBitSize:
         assert bit_size(Sized()) == 17
 
 
+class TestBitSizeCached:
+    def test_agrees_with_bit_size(self):
+        from repro.sim.messages import bit_size_cached
+
+        payloads = [
+            ("wake",),
+            ("token", 3, 17, (1, 2, 3)),
+            (True, 0, -5),
+            tuple(range(100)),          # vectorized int-run path
+            [1, 2, 3],                  # list: measured, memo-eligible
+            ("deep", ("nested", (1,))),
+            (1.5, "x"),
+        ]
+        for p in payloads:
+            # Twice: cold (computes + populates) and warm (cache hit).
+            assert bit_size_cached(p) == bit_size(p)
+            assert bit_size_cached(p) == bit_size(p)
+
+    def test_distinguishes_equal_but_differently_typed_values(self):
+        from repro.sim.messages import bit_size_cached
+
+        # 1 == True == 1.0 but their charges differ; the structural
+        # key must keep them apart.
+        assert bit_size_cached((1,)) == bit_size((1,))
+        assert bit_size_cached((True,)) == bit_size((True,))
+        assert bit_size_cached((1.0,)) == bit_size((1.0,))
+        assert bit_size_cached((True,)) != bit_size_cached((1.0,))
+
+
 class TestMessage:
     def test_frozen(self):
         m = Message(

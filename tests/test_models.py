@@ -53,6 +53,28 @@ class TestPortAssignment:
         with pytest.raises(SimulationError):
             pa.port(0, 2)
 
+    def test_table_matches_per_port_lookups(self):
+        """The engines' per-vertex send tables must agree with the
+        checked single-lookup API, for every vertex and port."""
+        g = complete_graph(6)
+        pa = PortAssignment.random(g, seed=3)
+        for v in g.vertices():
+            neighbors, back_ports = pa.table(v)
+            assert len(neighbors) == len(back_ports) == pa.degree(v)
+            for p in pa.ports(v):
+                u = neighbors[p - 1]
+                assert u == pa.neighbor(v, p)
+                assert back_ports[p - 1] == pa.port(u, v)
+        # The table is cached: repeated queries return the same tuple.
+        v0 = next(iter(g.vertices()))
+        assert pa.table(v0) is pa.table(v0)
+
+    def test_table_unknown_vertex_raises(self):
+        g = path_graph(3)
+        pa = PortAssignment.canonical(g)
+        with pytest.raises(SimulationError):
+            pa.table(99)
+
     def test_random_is_seed_deterministic(self):
         g = complete_graph(8)
         a = PortAssignment.random(g, seed=5)

@@ -71,6 +71,23 @@ def run_probe(seed: int, knowledge: Knowledge):
     return g, setup, nodes
 
 
+def test_lazy_rng_stream_matches_eager_random():
+    """Contexts built with a seed (the engines' fast path) must expose
+    the identical random stream as one built with a ready generator."""
+    from repro.sim.node import NodeContext
+
+    g = connected_erdos_renyi(6, 0.5, seed=1)
+    setup = make_setup(g, knowledge=Knowledge.KT0, seed=1)
+    v = next(iter(g.vertices()))
+    lazy = NodeContext(v, setup, 12345)
+    eager = NodeContext(v, setup, random.Random(12345))
+    assert [lazy.rng.random() for _ in range(20)] == [
+        eager.rng.random() for _ in range(20)
+    ]
+    # The constructed generator is kept, not rebuilt per access.
+    assert lazy.rng is lazy.rng
+
+
 @given(seed=st.integers(0, 5000))
 @settings(**SETTINGS)
 def test_kt1_context_consistency(seed):
