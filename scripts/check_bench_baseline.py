@@ -1,26 +1,37 @@
 #!/usr/bin/env python3
-"""Compare a hot-path benchmark run against the committed baseline.
+"""Compare a benchmark run against its committed baseline.
 
-Guards the engine fast lane in CI: ``benchmarks/bench_engine_hotpath.py``
-writes a candidate JSON, and this script fails (exit 1) when
+Guards the perf-sensitive layers in CI.  Two profiles:
 
-1. either file is missing, unparsable, or missing required fields
-   (every case needs ``algorithm``/``engine``/``n``/``events``/
-   ``messages``/``wall_s``/``events_per_sec``), or
+* ``--profile engine`` (default) — the engine fast lane.
+  ``benchmarks/bench_engine_hotpath.py`` cases keyed by
+  ``(algorithm, engine, n)``; the guarded metric is
+  ``events_per_sec`` against ``BENCH_engine.json``.
+* ``--profile topology`` — the compiled-topology cache.
+  ``benchmarks/bench_topology_compile.py`` cases keyed by
+  ``(workload, n)``; the guarded metric is ``warm_speedup``
+  (legacy-rebuild time over warm-fetch time) against
+  ``BENCH_topology.json``.
+
+The script fails (exit 1) when
+
+1. either file is missing, unparsable, or missing the profile's
+   required case fields, or
 2. any case present in both files regressed by more than
-   ``--max-regression`` (default 0.30, i.e. events/sec below 70% of
+   ``--max-regression`` (default 0.30, i.e. the metric below 70% of
    the baseline's).
 
 Cases present in only one file are reported but not fatal: the
 baseline is refreshed deliberately (rerun the bench with
-``--out BENCH_engine.json`` and commit) and may trail newly added
-cases.  Faster-than-baseline results never fail — shared CI runners
-are noisy in both directions, which is also why the default tolerance
-is as wide as 30%: this catches "the fast lane fell off" (2x), not
-single-digit jitter.
+``--out <baseline>`` and commit) and may trail newly added cases.
+Faster-than-baseline results never fail — shared CI runners are noisy
+in both directions, which is also why the default tolerance is as wide
+as 30%: this catches "the fast lane fell off" (2x), not single-digit
+jitter.
 
 Usage:
-    python scripts/check_bench_baseline.py CANDIDATE [--baseline PATH]
+    python scripts/check_bench_baseline.py CANDIDATE
+        [--profile {engine,topology}] [--baseline PATH]
         [--max-regression FRACTION]
 """
 
@@ -33,20 +44,43 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-# Must match benchmarks/bench_engine_hotpath.py CASE_FIELDS.
-REQUIRED_CASE_FIELDS = (
-    "algorithm",
-    "engine",
-    "n",
-    "events",
-    "messages",
-    "wall_s",
-    "events_per_sec",
-)
+# Field lists must match the benches' CASE_FIELDS.
+PROFILES = {
+    "engine": {
+        "baseline": "BENCH_engine.json",
+        "key_fields": ("algorithm", "engine", "n"),
+        "metric": "events_per_sec",
+        "unit": "events/s",
+        "required_fields": (
+            "algorithm",
+            "engine",
+            "n",
+            "events",
+            "messages",
+            "wall_s",
+            "events_per_sec",
+        ),
+    },
+    "topology": {
+        "baseline": "BENCH_topology.json",
+        "key_fields": ("workload", "n"),
+        "metric": "warm_speedup",
+        "unit": "x warm speedup",
+        "required_fields": (
+            "workload",
+            "n",
+            "trials",
+            "legacy_s",
+            "cold_s",
+            "warm_s",
+            "warm_speedup",
+        ),
+    },
+}
 
 
-def load_cases(path: Path, errors: list) -> dict:
-    """Map (algorithm, engine, n) -> case dict, validating fields."""
+def load_cases(path: Path, profile: dict, errors: list) -> dict:
+    """Map the profile's case key -> case dict, validating fields."""
     try:
         payload = json.loads(path.read_text())
     except FileNotFoundError:
@@ -59,16 +93,17 @@ def load_cases(path: Path, errors: list) -> dict:
     if not isinstance(cases, list) or not cases:
         errors.append(f"{path}: no 'cases' list")
         return {}
+    metric = profile["metric"]
     out = {}
     for i, case in enumerate(cases):
-        missing = [f for f in REQUIRED_CASE_FIELDS if f not in case]
+        missing = [f for f in profile["required_fields"] if f not in case]
         if missing:
             errors.append(f"{path}: case {i} missing fields {missing}")
             continue
-        if case["events_per_sec"] <= 0:
-            errors.append(f"{path}: case {i} has non-positive events_per_sec")
+        if case[metric] <= 0:
+            errors.append(f"{path}: case {i} has non-positive {metric}")
             continue
-        out[(case["algorithm"], case["engine"], case["n"])] = case
+        out[tuple(case[f] for f in profile["key_fields"])] = case
     return out
 
 
@@ -76,17 +111,29 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("candidate", type=Path,
                         help="bench output to check")
-    parser.add_argument("--baseline", type=Path,
-                        default=REPO_ROOT / "BENCH_engine.json",
-                        help="committed baseline (default: BENCH_engine.json)")
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="engine",
+                        help="which bench schema/metric to check "
+                             "(default: engine)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline (default: the "
+                             "profile's BENCH_*.json)")
     parser.add_argument("--max-regression", type=float, default=0.30,
-                        help="tolerated fractional events/sec drop "
+                        help="tolerated fractional metric drop "
                              "(default 0.30)")
     args = parser.parse_args(argv)
 
+    profile = PROFILES[args.profile]
+    baseline_path = (
+        args.baseline
+        if args.baseline is not None
+        else REPO_ROOT / profile["baseline"]
+    )
+    metric, unit = profile["metric"], profile["unit"]
+
     errors: list = []
-    baseline = load_cases(args.baseline, errors)
-    candidate = load_cases(args.candidate, errors)
+    baseline = load_cases(baseline_path, profile, errors)
+    candidate = load_cases(args.candidate, profile, errors)
 
     shared = sorted(set(baseline) & set(candidate), key=repr)
     if baseline and candidate and not shared:
@@ -96,14 +143,14 @@ def main(argv=None) -> int:
         print(f"note: case {key} only in {which}")
 
     for key in shared:
-        base = baseline[key]["events_per_sec"]
-        cand = candidate[key]["events_per_sec"]
+        base = baseline[key][metric]
+        cand = candidate[key][metric]
         ratio = cand / base
         status = "ok"
         if ratio < 1.0 - args.max_regression:
             status = "REGRESSION"
             errors.append(
-                f"case {key}: {cand:.0f} events/s is "
+                f"case {key}: {cand:.0f} {unit} is "
                 f"{(1.0 - ratio) * 100:.0f}% below baseline {base:.0f}"
             )
         print(f"{key}: baseline {base:10.0f}  candidate {cand:10.0f}  "

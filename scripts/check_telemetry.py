@@ -17,9 +17,13 @@ Checks, in order:
 Exit status 0 and a one-line summary on success; 1 with one line per
 violation otherwise.  ``--min-cells N`` additionally requires at least
 N ``cell_start`` events (CI smoke runs use it to prove the stream is
-not trivially empty).
+not trivially empty).  ``--expect-topology-builds N`` requires the
+summed ``topology_stats`` counters to report exactly N topology builds
+— the warm-store smoke invariant: builds equal the number of distinct
+(workload, n) cells, everything else is a cache hit.
 
 Usage: python scripts/check_telemetry.py PATH [--min-cells N]
+       [--expect-topology-builds N]
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from repro.obs.events import (  # noqa: E402
 )
 
 
-def check_stream(lines, min_cells: int = 0):
+def check_stream(lines, min_cells: int = 0, expect_topology_builds=None):
     """Return (errors, summary) for an iterable of JSONL lines."""
     errors: List[str] = []
     events: List[Dict[str, object]] = []
@@ -97,12 +101,30 @@ def check_stream(lines, min_cells: int = 0):
         errors.append(
             f"only {len(started)} cell_start events (require >= {min_cells})"
         )
+    topo = {"build": 0, "hit_mem": 0, "hit_disk": 0}
+    for e in events:
+        if e.get("kind") == "topology_stats":
+            for field in topo:
+                topo[field] += int(e.get(field, 0))
+    if expect_topology_builds is not None:
+        if not census.get("topology_stats"):
+            errors.append(
+                "no topology_stats event "
+                f"(expected {expect_topology_builds} builds)"
+            )
+        elif topo["build"] != expect_topology_builds:
+            errors.append(
+                f"{topo['build']} topology builds "
+                f"(expected exactly {expect_topology_builds}; "
+                f"hits: mem={topo['hit_mem']} disk={topo['hit_disk']})"
+            )
 
     summary = {
         "events": len(events),
         "cells": len(started),
         "terminal": sum(terminal.values()),
         "census": dict(sorted(census.items())),
+        "topology": topo,
     }
     return errors, summary
 
@@ -118,10 +140,24 @@ def main(argv=None) -> int:
         default=0,
         help="require at least this many cell_start events",
     )
+    parser.add_argument(
+        "--expect-topology-builds",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "require the topology_stats counters to report exactly N "
+            "builds (warm-store smoke invariant)"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         with open(args.path, "r", encoding="utf-8") as fh:
-            errors, summary = check_stream(fh, min_cells=args.min_cells)
+            errors, summary = check_stream(
+                fh,
+                min_cells=args.min_cells,
+                expect_topology_builds=args.expect_topology_builds,
+            )
     except OSError as exc:
         print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
         return 1

@@ -11,7 +11,9 @@ Subcommands:
 * ``lowerbounds`` — run the Theorem-1 and Theorem-2 harnesses and print
   their frontier/shape tables;
 * ``report``  — aggregate a ``--telemetry`` JSONL file into per-phase /
-  per-n profile tables and flag runtime outliers.
+  per-n profile tables and flag runtime outliers;
+* ``cache``   — inspect or purge the two on-disk runtime caches (the
+  cell result cache and the compiled-topology artifact store).
 
 Cell-based commands (``table1``, ``sweep``) accept ``--telemetry PATH``
 to stream structured events (:mod:`repro.obs`) to a JSONL file and
@@ -38,6 +40,7 @@ from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import render_table
 from repro.core import algorithm_names, get_algorithm
 from repro.experiments.parallel import DEFAULT_CACHE_DIR, ParallelSweepExecutor
+from repro.graphs.compile import DEFAULT_TOPOLOGY_DIR, TopologyStore
 from repro.experiments.storage import merge_records
 from repro.experiments.sweeps import parallel_sweep
 from repro.experiments.table1 import (
@@ -204,6 +207,57 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from pathlib import Path
+
+    cache_dir = Path(args.cache_dir)
+    store = TopologyStore(args.topology_dir)
+    if args.action == "info":
+        cells = (
+            sum(1 for _ in cache_dir.rglob("*.json"))
+            if cache_dir.is_dir()
+            else 0
+        )
+        cell_bytes = (
+            sum(p.stat().st_size for p in cache_dir.rglob("*.json"))
+            if cache_dir.is_dir()
+            else 0
+        )
+        print(
+            render_table(
+                [
+                    {
+                        "cache": "cells",
+                        "location": str(cache_dir),
+                        "entries": cells,
+                        "bytes": cell_bytes,
+                    },
+                    {
+                        "cache": "topologies",
+                        "location": str(store.root),
+                        "entries": store.artifact_count(),
+                        "bytes": store.size_bytes(),
+                    },
+                ],
+                title="On-disk runtime caches",
+            )
+        )
+        return 0
+    # action == "purge"
+    removed_cells = removed_topos = 0
+    if args.what in ("cells", "all"):
+        removed_cells = ParallelSweepExecutor(
+            workers=0, cache_dir=cache_dir
+        ).purge_cache()
+    if args.what in ("topologies", "all"):
+        removed_topos = store.purge()
+    print(
+        f"purged {removed_cells} cached cell(s), "
+        f"{removed_topos} compiled topolog(y/ies)"
+    )
+    return 0
+
+
 def _make_recorder(args):
     """Telemetry sink from ``--telemetry`` (NULL_RECORDER when unset)."""
     path = getattr(args, "telemetry", None)
@@ -236,6 +290,8 @@ def _make_executor(args) -> ParallelSweepExecutor:
         cell_timeout=args.cell_timeout,
         recorder=_make_recorder(args),
         progress=_make_progress(args),
+        topology_dir=args.topology_dir,
+        use_topology_store=(False if args.no_topology_store else None),
     )
 
 
@@ -290,6 +346,11 @@ def _cmd_sweep(args) -> int:
         f"(executed {s['executed']:.0f}, cached {s['cached']:.0f}, "
         f"failed {s['failed']:.0f}) in {s['wall_time']:.2f}s "
         f"[workers={executor.workers}]"
+    )
+    print(
+        f"topologies: built {s.get('topology.build', 0):.0f}, "
+        f"reused {s.get('topology.hit_mem', 0):.0f} in-process + "
+        f"{s.get('topology.hit_disk', 0):.0f} from store"
     )
     if args.out:
         merge_records(
@@ -387,6 +448,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="flag cells slower than FACTOR x their size-class median",
     )
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect / purge the on-disk runtime caches"
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("info", "purge"),
+        help="info: show entry counts and sizes; purge: delete entries",
+    )
+    p_cache.add_argument(
+        "what",
+        nargs="?",
+        choices=("cells", "topologies", "all"),
+        default="all",
+        help="which cache to purge (default: all; ignored by info)",
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        help="cell cache location (default: results/.cache)",
+    )
+    p_cache.add_argument(
+        "--topology-dir",
+        default=str(DEFAULT_TOPOLOGY_DIR),
+        help="topology store location (default: results/.topologies)",
+    )
+
     return parser
 
 
@@ -413,6 +500,22 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="per-cell wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--topology-dir",
+        default=str(DEFAULT_TOPOLOGY_DIR),
+        help=(
+            "compiled-topology artifact store location "
+            "(default: results/.topologies)"
+        ),
+    )
+    parser.add_argument(
+        "--no-topology-store",
+        action="store_true",
+        help=(
+            "skip the on-disk topology store (the in-process "
+            "compiled-topology cache stays active)"
+        ),
     )
     parser.add_argument(
         "--flight-recorder",
@@ -452,6 +555,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "lowerbounds": _cmd_lowerbounds,
         "report": _cmd_report,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

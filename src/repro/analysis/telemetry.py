@@ -114,6 +114,40 @@ def phase_profile_table(
     return rows
 
 
+def topology_cache_table(
+    events: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Compiled-topology cache effectiveness, from ``topology_stats``.
+
+    One row summing every sweep's counters: graph builds vs in-process
+    and on-disk reuses, plus the hit rate.  Empty when the stream
+    predates the topology layer (older telemetry files stay readable).
+    """
+    build = hit_mem = hit_disk = 0
+    seen = False
+    for e in events:
+        if e.get("kind") != "topology_stats":
+            continue
+        seen = True
+        build += int(e.get("build", 0))
+        hit_mem += int(e.get("hit_mem", 0))
+        hit_disk += int(e.get("hit_disk", 0))
+    if not seen:
+        return []
+    total = build + hit_mem + hit_disk
+    return [
+        {
+            "builds": build,
+            "hits_mem": hit_mem,
+            "hits_disk": hit_disk,
+            "fetches": total,
+            "hit_rate": round((hit_mem + hit_disk) / total, 3)
+            if total
+            else 0.0,
+        }
+    ]
+
+
 def _executed_cells(
     events: Sequence[Dict[str, object]],
 ) -> List[Dict[str, object]]:
@@ -223,6 +257,12 @@ def render_telemetry_report(
     if cell_rows:
         parts.append("")
         parts.append(render_table(cell_rows, title="Cells by size"))
+    topo_rows = topology_cache_table(events)
+    if topo_rows:
+        parts.append("")
+        parts.append(
+            render_table(topo_rows, title="Topology cache")
+        )
     outliers = runtime_outliers(events, factor=outlier_factor)
     parts.append("")
     if outliers:

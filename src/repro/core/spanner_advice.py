@@ -194,10 +194,29 @@ class SpannerAdvice(WakeUpAlgorithm):
         self.last_spanner: Optional[Graph] = None
 
     def _build_spanner(self, setup: NetworkSetup) -> Graph:
+        from repro.graphs.compile import cached_spanner
+
         if self.method == "greedy":
             # Deterministic, matching the determinism claimed by
             # Theorem 6 (the oracle is allowed unlimited computation).
-            return greedy_spanner(setup.graph, self.k)
+            return cached_spanner(
+                setup.graph,
+                "greedy",
+                {"k": self.k},
+                lambda g: greedy_spanner(g, self.k),
+            )
+        if isinstance(self._spanner_seed, int):
+            # Deterministic in (graph, k, seed): safe to memoize per
+            # compiled topology.  A live Random instance is stateful,
+            # so that variant always rebuilds.
+            return cached_spanner(
+                setup.graph,
+                "baswana-sen",
+                {"k": self.k, "seed": self._spanner_seed},
+                lambda g: baswana_sen_spanner(
+                    g, self.k, seed=self._spanner_seed
+                ),
+            )
         return baswana_sen_spanner(
             setup.graph, self.k, seed=self._spanner_seed
         )
@@ -234,4 +253,8 @@ class TreeSpannerAdvice(SpannerAdvice):
     name = "tree-spanner-advice"
 
     def _build_spanner(self, setup: NetworkSetup) -> Graph:
-        return bfs_tree_spanner(setup.graph)
+        from repro.graphs.compile import cached_spanner
+
+        return cached_spanner(
+            setup.graph, "bfs-tree", {}, bfs_tree_spanner
+        )

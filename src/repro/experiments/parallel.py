@@ -50,6 +50,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError, WakeUpFailure
+from repro.graphs.compile import (
+    DEFAULT_TOPOLOGY_DIR,
+    TopologyStore,
+    compiled_topology,
+    topology_key,
+)
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.runner import WakeUpResult
 from repro.sim.trace import DEFAULT_FLIGHT_RECORDER, Trace
@@ -118,6 +124,15 @@ class CellSpec:
     def run_seed(self) -> int:
         return self.seed * 10_007 + self.n * 101 + self.trial
 
+    @property
+    def topology_key(self) -> str:
+        """Content hash of this cell's compiled topology — the
+        ``(workload kind, params, n, CODE_SALT)`` digest shared by every
+        trial at the same size.  Deliberately a derived property, not a
+        dataclass field: it never enters ``as_dict`` and therefore never
+        perturbs :func:`cell_key`."""
+        return topology_key(self.workload, self.n)
+
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
@@ -185,24 +200,33 @@ class _CellTimeout(Exception):
 
 
 def _execute_cell(
-    spec: CellSpec, scratch: Optional[Dict[str, Any]] = None
+    spec: CellSpec,
+    scratch: Optional[Dict[str, Any]] = None,
+    topology_store: Optional[TopologyStore] = None,
 ) -> Dict[str, Any]:
     """Run one cell; returns the JSON-able success payload.
 
     ``scratch`` (when given) receives the live flight-recorder trace
     *before* the execution starts, so :func:`run_cell` can dump its
     tail even when the run raises mid-flight.
+
+    The topology is fetched through the compiled-topology layer
+    (:func:`repro.graphs.compile.compiled_topology`) — in-process LRU,
+    then the on-disk ``topology_store`` when given — so a multi-trial
+    cell batch builds each (workload, n) graph and runs its
+    ``awake_distance`` traversal exactly once.  The payload's
+    ``"topology"`` stats record whether this cell built or reused it.
     """
-    # Imported lazily: sweeps imports CellSpec from this module.
-    from repro.experiments.sweeps import build_workload
-    from repro.graphs.traversal import awake_distance
     from repro.models.knowledge import Knowledge, make_setup
     from repro.sim.adversary import Adversary
     from repro.sim.runner import run_wakeup
 
-    workload = build_workload(spec.workload)
-    graph, awake = workload(spec.n)
-    rho = float(awake_distance(graph, awake))
+    topo_stats: Dict[str, int] = {}
+    topo = compiled_topology(
+        spec.workload, spec.n, store=topology_store, stats=topo_stats
+    )
+    graph = topo.graph()
+    awake = topo.awake_vertices()
     setup_seed = (
         spec.setup_seed if spec.setup_seed is not None else spec.run_seed
     )
@@ -214,6 +238,7 @@ def _execute_cell(
         knowledge=Knowledge[spec.knowledge],
         bandwidth=spec.bandwidth,
         seed=setup_seed,
+        compiled=topo,
     )
     adversary = Adversary(
         _build_schedule(spec.schedule, graph, awake),
@@ -234,11 +259,17 @@ def _execute_cell(
         max_events=spec.max_events,
         trace=trace,
     )
-    return {"rho_awk": rho, "result": result.to_lean_dict()}
+    return {
+        "rho_awk": topo.rho_awk,
+        "result": result.to_lean_dict(),
+        "topology": topo_stats,
+    }
 
 
 def run_cell(
-    spec: CellSpec, cell_timeout: Optional[float] = None
+    spec: CellSpec,
+    cell_timeout: Optional[float] = None,
+    topology_store: Optional[TopologyStore] = None,
 ) -> Dict[str, Any]:
     """Worker entry point for one cell: never raises.
 
@@ -273,7 +304,9 @@ def run_cell(
             # cannot fire in the gap before the except clauses are live.
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, cell_timeout)
-            payload = _execute_cell(spec, scratch)
+            payload = _execute_cell(
+                spec, scratch, topology_store=topology_store
+            )
             payload["ok"] = True
             payload["status"] = "ok"
         except _CellTimeout:
@@ -310,10 +343,20 @@ def run_cell(
 
 
 def _run_cell_batch(
-    specs: List[CellSpec], cell_timeout: Optional[float]
+    specs: List[CellSpec],
+    cell_timeout: Optional[float],
+    topology_store: Optional[TopologyStore] = None,
 ) -> List[Dict[str, Any]]:
-    """Chunked worker task: one IPC round trip for several cells."""
-    return [run_cell(spec, cell_timeout) for spec in specs]
+    """Chunked worker task: one IPC round trip for several cells.
+
+    All cells in a batch share the worker's topology caches, so a batch
+    of T trials at one size performs at most one topology build (zero
+    when another worker, or a previous run, already wrote the
+    artifact)."""
+    return [
+        run_cell(spec, cell_timeout, topology_store=topology_store)
+        for spec in specs
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -404,6 +447,18 @@ class ParallelSweepExecutor:
     cache_dir / use_cache:
         On-disk memoization of successful cells, keyed by
         :func:`cell_key`.  Failures are never cached.
+    topology_dir / use_topology_store:
+        The compiled-topology artifact store
+        (:class:`repro.graphs.compile.TopologyStore`) workers fetch
+        graphs through instead of rebuilding them per trial.
+        ``use_topology_store=None`` (the default) follows ``use_cache``,
+        so ``--no-cache`` runs are hermetic on disk; the in-process
+        compiled-topology LRU is always active either way (rows are
+        bit-identical with the store on or off — conformance-tested).
+        Worker stats flow back inside cell payloads and aggregate into
+        ``stats["topology.build" | "topology.hit_mem" |
+        "topology.hit_disk"]`` plus one ``topology_stats`` telemetry
+        event per sweep.
     cell_timeout:
         Per-cell wall-clock budget in seconds, enforced inside the
         worker; an overrun becomes a ``"timeout"`` outcome.
@@ -441,6 +496,8 @@ class ParallelSweepExecutor:
         retries: int = 1,
         recorder: Optional[Recorder] = None,
         progress: Optional[Any] = None,
+        topology_dir: Union[str, Path] = DEFAULT_TOPOLOGY_DIR,
+        use_topology_store: Optional[bool] = None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else workers
         self.cache_dir = Path(cache_dir)
@@ -450,7 +507,17 @@ class ParallelSweepExecutor:
         self.retries = retries
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.progress = progress
+        self.topology_dir = Path(topology_dir)
+        if use_topology_store is None:
+            use_topology_store = use_cache
+        self.use_topology_store = use_topology_store
+        self._topology_store = (
+            TopologyStore(self.topology_dir) if use_topology_store else None
+        )
         self.stats: Dict[str, float] = {}
+        self.topo_stats: Dict[str, int] = {
+            "build": 0, "hit_mem": 0, "hit_disk": 0
+        }
 
     # -- public API ------------------------------------------------------
     def run(self, cells: Sequence[CellSpec]) -> List[CellOutcome]:
@@ -458,6 +525,7 @@ class ParallelSweepExecutor:
         input order.  Never raises for per-cell failures."""
         cells = list(cells)
         start = time.perf_counter()
+        self.topo_stats = {"build": 0, "hit_mem": 0, "hit_disk": 0}
         if self.recorder.enabled:
             self.recorder.emit(
                 "sweep_start", cells=len(cells), workers=self.workers
@@ -480,7 +548,12 @@ class ParallelSweepExecutor:
         if misses:
             if self.workers <= 1:
                 for idx, spec, key in misses:
-                    payload = run_cell(spec, self.cell_timeout)
+                    payload = run_cell(
+                        spec,
+                        self.cell_timeout,
+                        topology_store=self._topology_store,
+                    )
+                    self._absorb_topology(payload)
                     outcomes[idx] = _outcome_from_payload(
                         spec, key, payload, cached=False
                     )
@@ -498,13 +571,26 @@ class ParallelSweepExecutor:
             "failed": sum(1 for o in ordered if not o.ok),
             "wall_time": time.perf_counter() - start,
         }
+        for k, v in self.topo_stats.items():
+            self.stats[f"topology.{k}"] = v
         if self.recorder.enabled:
+            self.recorder.emit("topology_stats", **self.topo_stats)
             self.recorder.emit("sweep_end", **self.stats)
         if self.progress is not None:
             self.progress.finish(self.stats)
         return ordered
 
     # -- telemetry -------------------------------------------------------
+    def _absorb_topology(self, payload: Dict[str, Any]) -> None:
+        """Fold a worker's topology-cache stats into the sweep totals
+        and strip them from the payload — they describe *this* run's
+        cache behavior, so a payload replayed from the cell cache must
+        contribute zero."""
+        tstats = payload.pop("topology", None)
+        if tstats:
+            for k, v in tstats.items():
+                self.topo_stats[k] = self.topo_stats.get(k, 0) + v
+
     def _publish(self, outcome: CellOutcome) -> None:
         """Emit one cell's full telemetry lifecycle and feed the
         progress renderer.  Called exactly once per cell, in the parent
@@ -580,6 +666,7 @@ class ParallelSweepExecutor:
                     _run_cell_batch,
                     [spec for _, spec, _ in batch],
                     self.cell_timeout,
+                    self._topology_store,
                 ): batch
                 for batch in batches
             }
@@ -595,6 +682,7 @@ class ParallelSweepExecutor:
                     survivors.extend(batch)
                     continue
                 for (idx, spec, key), payload in zip(batch, payloads):
+                    self._absorb_topology(payload)
                     outcomes[idx] = _outcome_from_payload(
                         spec, key, payload, cached=False
                     )
@@ -625,7 +713,10 @@ class ParallelSweepExecutor:
                         max_workers=1, mp_context=ctx
                     ) as pool:
                         payload = pool.submit(
-                            run_cell, spec, self.cell_timeout
+                            run_cell,
+                            spec,
+                            self.cell_timeout,
+                            self._topology_store,
                         ).result()
                 except BrokenProcessPool:
                     if attempts <= self.retries:
@@ -642,6 +733,7 @@ class ParallelSweepExecutor:
                     )
                     self._publish(outcomes[idx])
                     break
+                self._absorb_topology(payload)
                 outcomes[idx] = _outcome_from_payload(
                     spec, key, payload, cached=False
                 )
@@ -687,3 +779,9 @@ class ParallelSweepExecutor:
                 entry.unlink()
                 removed += 1
         return removed
+
+    def purge_topologies(self) -> int:
+        """Delete every stored compiled topology; returns the number
+        removed.  Independent of :meth:`purge_cache` — cached cell
+        *results* survive a topology purge and vice versa."""
+        return TopologyStore(self.topology_dir).purge()

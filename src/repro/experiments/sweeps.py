@@ -84,12 +84,15 @@ def sweep(
         times: List[float] = []
         awake_times: List[float] = []
         bits: List[float] = []
-        rho = 0.0
         adv_max = adv_avg = 0.0
+        # Workloads are deterministic in n, so build the topology (and
+        # run the awake-distance traversal) once per size, not once per
+        # trial — per-trial randomness (IDs, ports, execution) is seeded
+        # below and untouched by the hoist.
+        graph, awake = workload(n)
+        rho = float(awake_distance(graph, awake))
         for t in range(trials):
             run_seed = seed * 10_007 + n * 101 + t
-            graph, awake = workload(n)
-            rho = float(awake_distance(graph, awake))
             setup = make_setup(
                 graph,
                 knowledge=knowledge,
@@ -198,6 +201,35 @@ def tree_random_wake(seed: int = 0) -> Workload:
     return build
 
 
+def dkq_point_wake(k: int = 2) -> Workload:
+    """Lazebnik–Ustimenko D(k, q) with the first point woken.
+
+    q is the smallest prime power with ``2 * q**k >= n``, so the graph
+    has at least n vertices (``q**k`` points plus ``q**k`` lines) while
+    staying as close to n as the construction allows.  The paper's KT1
+    lower-bound family — and by far the most expensive workload we
+    build (GF(p^m) arithmetic plus q^(k+1) incidence solves), which is
+    what makes it the headline case for the compiled-topology cache.
+    """
+    from repro.graphs.highgirth import (
+        dkq_graph,
+        smallest_prime_power_at_least,
+    )
+
+    if k < 2:
+        raise ReproError("dkq_point_wake requires k >= 2")
+
+    def build(n: int):
+        q_min = 2
+        while 2 * q_min**k < n:
+            q_min += 1
+        q = smallest_prime_power_at_least(q_min)
+        g = dkq_graph(k, q).graph
+        return g, [next(iter(g.vertices()))]
+
+    return build
+
+
 def er_shared_wake(
     avg_degree: float = 8.0, awake_fraction: float = 0.05, seed: int = 0
 ) -> Workload:
@@ -232,6 +264,7 @@ WORKLOADS: Dict[str, Callable[..., Workload]] = {
     "grid_corner_wake": grid_corner_wake,
     "tree_random_wake": tree_random_wake,
     "er_shared_wake": er_shared_wake,
+    "dkq_point_wake": dkq_point_wake,
 }
 
 

@@ -18,11 +18,13 @@ usable as dict keys and graph-vertex coordinate entries.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from repro.errors import FieldError
 
 
+@lru_cache(maxsize=None)
 def is_prime(n: int) -> bool:
     """Deterministic primality check by trial division (fields are tiny)."""
     if n < 2:
@@ -39,8 +41,14 @@ def is_prime(n: int) -> bool:
     return True
 
 
+@lru_cache(maxsize=None)
 def factor_prime_power(q: int) -> Tuple[int, int]:
-    """Write q = p^m for prime p, or raise :class:`FieldError`."""
+    """Write q = p^m for prime p, or raise :class:`FieldError`.
+
+    The factorization is memoized; note ``lru_cache`` does not cache
+    raised exceptions, so callers probing *non*-prime-powers repeatedly
+    should go through :func:`repro.graphs.highgirth.is_prime_power`
+    (which memoizes the boolean answer itself)."""
     if q < 2:
         raise FieldError(f"{q} is not a prime power")
     for p in range(2, q + 1):
@@ -98,10 +106,17 @@ def find_irreducible(p: int, m: int) -> List[int]:
     Irreducibility is checked by verifying the polynomial has no root
     and no monic factor of degree 2..m//2 (exhaustive; fine for the tiny
     fields used here).  Returned as a coefficient list (low degree
-    first) of length m+1 with leading coefficient 1.
+    first) of length m+1 with leading coefficient 1.  The search is
+    memoized per (p, m); the returned list is a fresh copy, so callers
+    may mutate it freely.
     """
+    return list(_find_irreducible(p, m))
+
+
+@lru_cache(maxsize=None)
+def _find_irreducible(p: int, m: int) -> Tuple[int, ...]:
     if m == 1:
-        return [0, 1]  # x itself (any monic degree-1 poly is irreducible)
+        return (0, 1)  # x itself (any monic degree-1 poly is irreducible)
 
     def candidates():
         # Iterate monic degree-m polynomials by the integer encoding of
@@ -141,7 +156,7 @@ def find_irreducible(p: int, m: int) -> List[int]:
             if reducible:
                 break
         if not reducible:
-            return f
+            return tuple(f)
     raise FieldError(f"no irreducible polynomial found for GF({p}^{m})")
 
 
@@ -299,3 +314,15 @@ class GF:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GF({self.q})"
+
+
+@lru_cache(maxsize=None)
+def get_field(q: int) -> GF:
+    """The memoized GF(q) instance.
+
+    Building GF(p^m) runs the irreducible-polynomial search plus O(q^2)
+    table construction; fields are immutable after ``__init__``, so
+    every D(k, q) build (and anything else needing GF(q)) can share one
+    instance.  Raises :class:`FieldError` for non-prime-powers exactly
+    like ``GF(q)`` (failures are not cached)."""
+    return GF(q)

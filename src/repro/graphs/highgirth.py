@@ -38,10 +38,11 @@ Vertices are labeled ``("P", coords)`` and ``("L", coords)`` with
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import GraphError
-from repro.graphs.galois import GF, factor_prime_power, is_prime
+from repro.graphs.galois import GF, factor_prime_power, get_field, is_prime
 from repro.graphs.graph import Graph
 
 PointLabel = Tuple[str, Tuple[int, ...]]
@@ -111,7 +112,7 @@ class DkqGraph:
             raise GraphError("D(k, q) requires k >= 2")
         self.k = k
         self.q = q
-        self.field = GF(q)
+        self.field = get_field(q)
         self._eqs = _equation_table(k)
         self.graph = self._build()
         self.points: List[PointLabel] = [
@@ -201,29 +202,26 @@ def dkq_graph(k: int, q: int) -> DkqGraph:
 
 def usable_prime_powers(limit: int) -> List[int]:
     """Prime powers q <= limit, ascending (sizes usable for benches)."""
-    out = []
-    for q in range(2, limit + 1):
-        try:
-            factor_prime_power(q)
-        except Exception:
-            continue
-        out.append(q)
-    return out
+    return [q for q in range(2, limit + 1) if is_prime_power(q)]
 
 
+@lru_cache(maxsize=None)
 def smallest_prime_power_at_least(q_min: int) -> int:
     """Smallest prime power >= q_min (prime powers are dense enough that
-    this terminates quickly for all practical inputs)."""
+    this terminates quickly for all practical inputs).  Memoized —
+    every D(k, q) sizing query at a given n repeats this scan."""
     q = max(2, q_min)
-    while True:
-        try:
-            factor_prime_power(q)
-            return q
-        except Exception:
-            q += 1
+    while not is_prime_power(q):
+        q += 1
+    return q
 
 
+@lru_cache(maxsize=None)
 def is_prime_power(q: int) -> bool:
+    """Memoized prime-power test.  Cached here (rather than relying on
+    :func:`factor_prime_power`'s cache) because ``lru_cache`` never
+    caches raised exceptions — the *negative* answers are the ones that
+    would otherwise re-run trial division every call."""
     try:
         factor_prime_power(q)
         return True

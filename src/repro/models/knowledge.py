@@ -146,17 +146,27 @@ def make_setup(
     ids: Optional[Dict[Vertex, int]] = None,
     ports: Optional[PortAssignment] = None,
     congest_factor: int = 16,
+    compiled: Optional[object] = None,
 ) -> NetworkSetup:
     """Convenience constructor for the common experiment shapes.
 
     ``bandwidth`` is "LOCAL" or "CONGEST".  Random choices (IDs, port
     shuffles) derive from ``seed``.
+
+    ``compiled`` (a :class:`repro.graphs.compile.CompiledTopology` of
+    this same graph) routes the port shuffle through the artifact's
+    prevalidated fast path: identical rng consumption, identical
+    assignment, but no per-vertex permutation/symmetry re-validation
+    and the engines' send tables come prebuilt.
     """
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     if ids is None:
         ids = assign_ids(graph, rng)
     if ports is None:
-        ports = PortAssignment.random(graph, rng)
+        if compiled is not None:
+            ports = compiled.random_ports(rng)
+        else:
+            ports = PortAssignment.random(graph, rng)
     if bandwidth == "LOCAL":
         bw = local_model()
     elif bandwidth == "CONGEST":

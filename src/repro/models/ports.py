@@ -61,6 +61,36 @@ class PortAssignment:
             order[v] = nbrs
         return cls(graph, order)
 
+    @classmethod
+    def prevalidated(
+        cls, graph: Graph, order: Dict[Vertex, List[Vertex]]
+    ) -> "PortAssignment":
+        """Trusted constructor for already-validated topologies.
+
+        Skips the per-vertex permutation check of ``__init__`` and the
+        per-neighbor symmetry validation of :meth:`table`, and prebuilds
+        every send table eagerly — the engines then pay zero validation
+        cost at init.  Callers (the compiled-topology layer,
+        :meth:`repro.graphs.compile.CompiledTopology.random_ports`)
+        guarantee that ``order[v]`` is a permutation of N(v) for a
+        symmetric adjacency; handing this unvalidated data produces
+        undefined behavior, which is why the ordinary constructors
+        remain the default path.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._to_neighbor = {v: list(nbrs) for v, nbrs in order.items()}
+        to_port = {
+            v: {u: i + 1 for i, u in enumerate(nbrs)}
+            for v, nbrs in self._to_neighbor.items()
+        }
+        self._to_port = to_port
+        self._tables = {
+            v: (tuple(nbrs), tuple(to_port[u][v] for u in nbrs))
+            for v, nbrs in self._to_neighbor.items()
+        }
+        return self
+
     # -- queries -----------------------------------------------------------
     def degree(self, v: Vertex) -> int:
         """Number of ports (= degree) of v."""

@@ -29,6 +29,9 @@ Event kinds
 ``phase_end``    a phase span closed; per-cell events from the
                  executor are *aggregates* over the whole cell
 ``engine_step``  throttled engine-loop heartbeat
+``topology_stats`` compiled-topology cache totals for one sweep
+                 (builds vs memory/disk hits), emitted just before
+                 ``sweep_end``
 ==============  ====================================================
 
 A cell reaches exactly one terminal event: ``cell_end`` (status
@@ -59,6 +62,7 @@ EVENT_KINDS: Dict[str, tuple] = {
     "phase_start": ("phase",),
     "phase_end": ("phase", "elapsed", "messages", "entries"),
     "engine_step": ("events", "now", "awake"),
+    "topology_stats": ("build", "hit_mem", "hit_disk"),
 }
 
 #: Statuses a ``cell_end`` event may carry.

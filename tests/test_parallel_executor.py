@@ -32,6 +32,7 @@ from repro.experiments.parallel import (
     run_cell,
 )
 from repro.experiments.storage import load_records, merge_records
+from repro.graphs.compile import clear_memory_cache
 from repro.experiments.sweeps import (
     parallel_sweep,
     rows_from_outcomes,
@@ -378,3 +379,57 @@ class TestFaultInjection:
         assert payload["ok"] is False
         assert payload["error_kind"] == "WakeUpFailure"
         assert payload["asleep"]
+
+
+# ----------------------------------------------------------------------
+# Topology store conformance: the compiled-topology cache is a pure
+# speedup — rows are bit-identical with the store on, off, or warm.
+# ----------------------------------------------------------------------
+class TestTopologyStoreConformance:
+    def _run(self, cells, tmp_path=None, workers=0, store=False):
+        clear_memory_cache()
+        ex = ParallelSweepExecutor(
+            workers=workers,
+            use_cache=False,
+            use_topology_store=store,
+            topology_dir=(tmp_path or "unused") / "topo"
+            if tmp_path
+            else "unused/topo",
+        )
+        return ex, ex.run(cells)
+
+    @staticmethod
+    def _assert_identical(a, b):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.ok and y.ok
+            assert y.result.summary() == x.result.summary()
+            assert y.result.time_all_awake == x.result.time_all_awake
+            assert y.rho_awk == x.rho_awk
+
+    def test_store_on_off_and_warm_rows_bit_identical(self, tmp_path):
+        cells = _grid_cells()
+        _, off = self._run(cells)
+        on_ex, on = self._run(cells, tmp_path, store=True)
+        self._assert_identical(off, on)
+        # One build per distinct (workload, n): 2 workload seeds x 2
+        # sizes, shared across all algorithms and trials.
+        distinct = {(c.workload["seed"], c.n) for c in cells}
+        assert on_ex.stats["topology.build"] == len(distinct)
+        # Warm rerun: everything replays from disk, still identical.
+        warm_ex, warm = self._run(cells, tmp_path, store=True)
+        self._assert_identical(off, warm)
+        assert warm_ex.stats["topology.build"] == 0
+        assert warm_ex.stats["topology.hit_disk"] == len(distinct)
+
+    def test_store_with_worker_pool_matches_serial(self, tmp_path):
+        cells = _grid_cells()
+        _, serial = self._run(cells)
+        pool_ex, pooled = self._run(
+            cells, tmp_path, workers=2, store=True
+        )
+        self._assert_identical(serial, pooled)
+        # Fork workers still account one build per distinct topology
+        # at most (racing workers may disk-hit instead).
+        distinct = {(c.workload["seed"], c.n) for c in cells}
+        assert 0 < pool_ex.stats["topology.build"] <= len(distinct)

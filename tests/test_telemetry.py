@@ -81,6 +81,7 @@ SAMPLE_FIELDS = {
     "phase_end": {"phase": "engine", "elapsed": 0.004, "messages": 64,
                   "entries": 1},
     "engine_step": {"events": 1000, "now": 2.5, "awake": 12},
+    "topology_stats": {"build": 2, "hit_mem": 4, "hit_disk": 0},
 }
 
 
