@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a benchmark run against its committed baseline.
 
-Guards the perf-sensitive layers in CI.  Two profiles:
+Guards the perf-sensitive layers in CI.  Profiles:
 
 * ``--profile engine`` (default) — the engine fast lane.
   ``benchmarks/bench_engine_hotpath.py`` cases keyed by
@@ -12,6 +12,10 @@ Guards the perf-sensitive layers in CI.  Two profiles:
   ``(workload, n)``; the guarded metric is ``warm_speedup``
   (legacy-rebuild time over warm-fetch time) against
   ``BENCH_topology.json``.
+* ``--profile check`` — the schedule explorer / worst-case search.
+  ``benchmarks/bench_schedule_search.py`` cases keyed by
+  ``(mode, algorithm, n)``; the guarded metric is
+  ``schedules_per_sec`` against ``BENCH_check.json``.
 
 The script fails (exit 1) when
 
@@ -59,6 +63,20 @@ PROFILES = {
             "messages",
             "wall_s",
             "events_per_sec",
+        ),
+    },
+    "check": {
+        "baseline": "BENCH_check.json",
+        "key_fields": ("mode", "algorithm", "n"),
+        "metric": "schedules_per_sec",
+        "unit": "schedules/s",
+        "required_fields": (
+            "mode",
+            "algorithm",
+            "n",
+            "schedules",
+            "wall_s",
+            "schedules_per_sec",
         ),
     },
     "topology": {

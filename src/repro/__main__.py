@@ -12,8 +12,15 @@ Subcommands:
   their frontier/shape tables;
 * ``report``  — aggregate a ``--telemetry`` JSONL file into per-phase /
   per-n profile tables and flag runtime outliers;
-* ``cache``   — inspect or purge the two on-disk runtime caches (the
-  cell result cache and the compiled-topology artifact store).
+* ``check``   — bounded model checking: exhaustively explore the
+  adversary's schedule space at small n, check invariants, shrink any
+  counterexample to a replayable artifact;
+* ``worstcase`` — greedy + beam search for the worst schedule at sizes
+  exhaustion cannot reach; reports the empirical adversarial frontier
+  against a random-delay baseline and saves a replay artifact;
+* ``cache``   — inspect or purge the on-disk runtime caches (the cell
+  result cache, the compiled-topology artifact store, and the
+  schedule-replay artifacts).
 
 Cell-based commands (``table1``, ``sweep``) accept ``--telemetry PATH``
 to stream structured events (:mod:`repro.obs`) to a JSONL file and
@@ -212,6 +219,7 @@ def _cmd_cache(args) -> int:
 
     cache_dir = Path(args.cache_dir)
     store = TopologyStore(args.topology_dir)
+    replay_dir = Path(args.replay_dir)
     if args.action == "info":
         cells = (
             sum(1 for _ in cache_dir.rglob("*.json"))
@@ -223,6 +231,7 @@ def _cmd_cache(args) -> int:
             if cache_dir.is_dir()
             else 0
         )
+        replays = sorted(replay_dir.rglob("*.json")) if replay_dir.is_dir() else []
         print(
             render_table(
                 [
@@ -238,24 +247,315 @@ def _cmd_cache(args) -> int:
                         "entries": store.artifact_count(),
                         "bytes": store.size_bytes(),
                     },
+                    {
+                        "cache": "replays",
+                        "location": str(replay_dir),
+                        "entries": len(replays),
+                        "bytes": sum(p.stat().st_size for p in replays),
+                    },
                 ],
                 title="On-disk runtime caches",
             )
         )
         return 0
     # action == "purge"
-    removed_cells = removed_topos = 0
+    removed_cells = removed_topos = removed_replays = 0
     if args.what in ("cells", "all"):
         removed_cells = ParallelSweepExecutor(
             workers=0, cache_dir=cache_dir
         ).purge_cache()
     if args.what in ("topologies", "all"):
         removed_topos = store.purge()
+    if args.what in ("replays", "all") and replay_dir.is_dir():
+        for p in sorted(replay_dir.rglob("*.json")):
+            p.unlink()
+            removed_replays += 1
     print(
         f"purged {removed_cells} cached cell(s), "
-        f"{removed_topos} compiled topolog(y/ies)"
+        f"{removed_topos} compiled topolog(y/ies), "
+        f"{removed_replays} replay artifact(s)"
     )
     return 0
+
+
+_CHECK_GRAPHS = ("complete", "path", "cycle", "star", "er")
+
+
+def _check_world(args, algo):
+    """Deterministic world factory for ``check``/``worstcase``.
+
+    Topology, wake set, and stagger are resolved once; the returned
+    factory rebuilds an identical fresh world per call (the explorer
+    and shrinker re-execute runs and need bit-equal starting states).
+    """
+    from repro.graphs.generators import (
+        complete_graph,
+        cycle_graph,
+        path_graph,
+        star_graph,
+    )
+
+    n = args.n
+    if args.graph == "er":
+        graph = connected_erdos_renyi(
+            n, args.degree / max(1, n - 1), seed=args.seed
+        )
+    else:
+        graph = {
+            "complete": complete_graph,
+            "path": path_graph,
+            "cycle": cycle_graph,
+            "star": star_graph,
+        }[args.graph](n)
+    rng = random.Random(args.seed + 1)
+    awake = rng.sample(sorted(graph.vertices(), key=repr),
+                       max(1, min(args.awake, n)))
+    times = {v: i * args.stagger for i, v in enumerate(awake)}
+    knowledge = Knowledge.KT1 if algo.requires_kt1 else Knowledge.KT0
+    bandwidth = "CONGEST" if algo.congest_safe else "LOCAL"
+    setup_seed = args.seed + 2
+
+    def world():
+        setup = make_setup(
+            graph, knowledge=knowledge, bandwidth=bandwidth,
+            seed=setup_seed,
+        )
+        return (
+            setup,
+            algo,
+            Adversary(WakeSchedule(dict(times)), UnitDelay()),
+        )
+
+    return world, times
+
+
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro.check import (
+        default_invariants,
+        explore,
+        make_replay,
+        save_replay,
+        shrink_violation,
+    )
+
+    algo = get_algorithm(args.algorithm)
+    world, times = _check_world(args, algo)
+    recorder = _make_recorder(args)
+    try:
+        result = explore(
+            world,
+            max_schedules=args.max_schedules,
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            por=not args.no_por,
+            dedup=not args.no_dedup,
+            seed=args.seed + 3,
+            laziness=args.laziness,
+            mutation=args.mutation,
+            recorder=recorder,
+        )
+        s = result.stats
+        print(
+            render_table(
+                [
+                    {
+                        "algorithm": args.algorithm,
+                        "n": args.n,
+                        "graph": args.graph,
+                        "schedules": s.schedules,
+                        "states": s.states,
+                        "pruned": s.pruned_sleep + s.pruned_state,
+                        "violations": s.violations,
+                        "coverage": "complete"
+                        if result.completed
+                        else "budget hit",
+                    }
+                ],
+                title="Schedule-space exploration",
+            )
+        )
+        if not result.violations:
+            if s.violations:
+                # Counted but not retained (max_violations overflow).
+                return 1
+            return 0
+        v = result.violations[0]
+        print(f"\nviolation: {v.invariant}: {v.detail}")
+        outcome = shrink_violation(
+            world,
+            v.choices,
+            v.invariant,
+            invariants=default_invariants(algo.name),
+            seed=args.seed + 3,
+            laziness=args.laziness,
+            mutation=args.mutation,
+            recorder=recorder,
+        )
+        print(
+            f"shrunk witness {outcome.initial_length} -> "
+            f"{outcome.final_length} choice(s) in {outcome.tests} runs: "
+            f"{list(outcome.choices)}"
+        )
+        replay = make_replay(
+            algorithm=algo.name,
+            n=args.n,
+            log=_witness_log(world, outcome.choices, args),
+            schedule_times=times,
+            laziness=args.laziness,
+            mutation=args.mutation,
+            seed=args.seed + 3,
+            invariant=v.invariant,
+            workload={"graph": args.graph, "degree": args.degree,
+                      "awake": args.awake, "stagger": args.stagger,
+                      "seed": args.seed},
+        )
+        path = save_replay(
+            replay,
+            Path(args.replay_dir)
+            / f"check-{algo.name}-n{args.n}-{v.invariant}.json",
+        )
+        print(f"replay artifact: {path}")
+        return 1
+    finally:
+        recorder.close()
+
+
+def _witness_log(world, choices, args):
+    """Re-run a shrunk witness once to capture its full ScheduleLog."""
+    from repro.check import ReplayController
+
+    setup, algo, adversary = world()
+    ctl = ReplayController(
+        list(choices),
+        strict=False,
+        laziness=args.laziness,
+        mutation=args.mutation,
+    )
+    run_wakeup(
+        setup, algo, adversary, engine="async", seed=args.seed + 3,
+        require_all_awake=False, controller=ctl,
+    )
+    return ctl.log
+
+
+def _cmd_worstcase(args) -> int:
+    from pathlib import Path
+
+    from repro.check import (
+        ReplayDelay,
+        make_replay,
+        random_baseline,
+        save_replay,
+        worstcase_search,
+    )
+
+    algo = get_algorithm(args.algorithm)
+    if args.workload == "class-g":
+        from repro.lowerbounds.graph_g import build_class_g
+
+        cg = build_class_g(args.n)
+        knowledge = Knowledge.KT1 if algo.requires_kt1 else Knowledge.KT0
+        times = {v: 0.0 for v in cg.centers}
+
+        def world():
+            setup = cg.make_setup(
+                seed=args.seed + 2, bandwidth="LOCAL",
+                knowledge=knowledge,
+            )
+            return (
+                setup,
+                algo,
+                Adversary(WakeSchedule(dict(times)), UnitDelay()),
+            )
+
+    else:
+        world, times = _check_world(args, algo)
+    recorder = _make_recorder(args)
+    try:
+        wc = worstcase_search(
+            world,
+            args.objective,
+            beam_width=args.beam,
+            horizon=args.horizon,
+            branch_cap=args.branch_cap,
+            laziness=args.laziness,
+            seed=args.seed + 3,
+            recorder=recorder,
+        )
+        baseline = random_baseline(
+            world, args.objective, trials=args.trials, seed=args.seed + 4
+        )
+        rows = [
+            {"adversary": f"random best of {args.trials}",
+             args.objective: round(baseline, 6)}
+        ]
+        rows += [
+            {"adversary": f"greedy {name}",
+             args.objective: round(score, 6)}
+            for name, score in sorted(wc.greedy_scores.items())
+        ]
+        rows.append(
+            {"adversary": f"beam ({wc.evaluations} evals)",
+             args.objective: round(wc.score, 6)}
+        )
+        print(
+            render_table(
+                rows,
+                title=(
+                    f"Worst-case search: {algo.name} on "
+                    f"{args.workload} n={args.n}"
+                ),
+            )
+        )
+        # The found schedule must replay bit-identically through the
+        # plain engine — the artifact is only worth saving if it does.
+        setup, _, adversary = world()
+        replayed = run_wakeup(
+            setup,
+            algo,
+            Adversary(adversary.schedule, ReplayDelay(wc.delays)),
+            engine="async",
+            seed=args.seed + 3,
+            require_all_awake=False,
+        )
+        identical = (
+            replayed.messages == wc.result.messages
+            and replayed.bits == wc.result.bits
+            and abs(replayed.time - wc.result.time) < 1e-12
+        )
+        if not identical:
+            print("replay check FAILED: plain engine diverged",
+                  file=sys.stderr)
+            return 1
+        print(
+            f"replay check: plain engine reproduces "
+            f"{args.objective}={wc.score:g} bit-identically"
+        )
+        replay = make_replay(
+            algorithm=algo.name,
+            n=args.n,
+            log=wc.log,
+            schedule_times=times,
+            laziness=wc.laziness,
+            seed=args.seed + 3,
+            objective=args.objective,
+            score=wc.score,
+            workload={"workload": args.workload, "graph":
+                      getattr(args, "graph", None),
+                      "seed": args.seed},
+        )
+        out = args.out or (
+            Path(args.replay_dir)
+            / f"worstcase-{algo.name}-{args.workload}-n{args.n}-"
+            f"{args.objective}.json"
+        )
+        path = save_replay(replay, out)
+        print(f"replay artifact: {path}")
+        return 0
+    finally:
+        recorder.close()
 
 
 def _make_recorder(args):
@@ -448,6 +748,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="flag cells slower than FACTOR x their size-class median",
     )
 
+    p_check = sub.add_parser(
+        "check",
+        help="bounded model checking over the adversarial schedule space",
+    )
+    p_check.add_argument("algorithm", choices=algorithm_names())
+    p_check.add_argument("--n", type=int, default=4)
+    p_check.add_argument(
+        "--graph", choices=_CHECK_GRAPHS, default="cycle"
+    )
+    p_check.add_argument("--awake", type=int, default=1)
+    p_check.add_argument(
+        "--stagger",
+        type=float,
+        default=0.0,
+        help="wake vertex i at i*STAGGER instead of all at once",
+    )
+    p_check.add_argument("--degree", type=float, default=3.0)
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument("--max-schedules", type=int, default=20_000)
+    p_check.add_argument("--max-states", type=int, default=500_000)
+    p_check.add_argument("--max-depth", type=int, default=256)
+    p_check.add_argument(
+        "--laziness",
+        type=float,
+        default=0.0,
+        help="0.0 = eager delivery times, 1.0 = maximal legal delays",
+    )
+    p_check.add_argument(
+        "--no-por",
+        action="store_true",
+        help="disable the sleep-set partial-order reduction",
+    )
+    p_check.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable state-fingerprint deduplication",
+    )
+    p_check.add_argument(
+        "--mutation",
+        choices=("skip-fifo",),
+        default=None,
+        help="plant a known engine bug (mutation smoke testing)",
+    )
+    _add_replay_dir_flag(p_check)
+    _add_telemetry_flags(p_check)
+
+    p_wc = sub.add_parser(
+        "worstcase",
+        help="search for the worst adversarial schedule at larger n",
+    )
+    p_wc.add_argument(
+        "algorithm", nargs="?", default="flooding",
+        choices=algorithm_names(),
+    )
+    p_wc.add_argument(
+        "--workload",
+        choices=("er", "class-g"),
+        default="class-g",
+        help="er: random graph (uses --graph flags); class-g: the "
+        "Theorem-1 lower-bound topology",
+    )
+    p_wc.add_argument("--n", type=int, default=8)
+    p_wc.add_argument(
+        "--graph", choices=_CHECK_GRAPHS, default="er"
+    )
+    p_wc.add_argument("--awake", type=int, default=1)
+    p_wc.add_argument("--stagger", type=float, default=0.0)
+    p_wc.add_argument("--degree", type=float, default=3.0)
+    p_wc.add_argument(
+        "--objective",
+        choices=("time", "messages", "bits"),
+        default="time",
+    )
+    p_wc.add_argument("--beam", type=int, default=4)
+    p_wc.add_argument("--horizon", type=int, default=12)
+    p_wc.add_argument("--branch-cap", type=int, default=3)
+    p_wc.add_argument(
+        "--trials",
+        type=int,
+        default=32,
+        help="random-delay baseline sample count",
+    )
+    p_wc.add_argument(
+        "--laziness",
+        type=float,
+        default=None,
+        help="override delivery-time laziness (default: 1.0 for the "
+        "time objective, else 0.0)",
+    )
+    p_wc.add_argument("--seed", type=int, default=0)
+    p_wc.add_argument(
+        "--out",
+        default=None,
+        help="replay artifact path (default: under --replay-dir)",
+    )
+    _add_replay_dir_flag(p_wc)
+    _add_telemetry_flags(p_wc)
+
     p_cache = sub.add_parser(
         "cache", help="inspect / purge the on-disk runtime caches"
     )
@@ -459,7 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument(
         "what",
         nargs="?",
-        choices=("cells", "topologies", "all"),
+        choices=("cells", "topologies", "replays", "all"),
         default="all",
         help="which cache to purge (default: all; ignored by info)",
     )
@@ -473,8 +871,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=str(DEFAULT_TOPOLOGY_DIR),
         help="topology store location (default: results/.topologies)",
     )
+    _add_replay_dir_flag(p_cache)
 
     return parser
+
+
+def _add_replay_dir_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.check.controller import DEFAULT_REPLAY_DIR
+
+    parser.add_argument(
+        "--replay-dir",
+        default=str(DEFAULT_REPLAY_DIR),
+        help="schedule replay artifact dir (default: results/.replays)",
+    )
 
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
@@ -555,6 +964,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "lowerbounds": _cmd_lowerbounds,
         "report": _cmd_report,
+        "check": _cmd_check,
+        "worstcase": _cmd_worstcase,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

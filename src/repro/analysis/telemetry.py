@@ -148,6 +148,63 @@ def topology_cache_table(
     ]
 
 
+def schedule_check_table(
+    events: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Schedule-exploration activity, from the ``repro.check`` kinds.
+
+    One row per ``check_stats`` / ``worstcase_stats`` / ``shrink_stats``
+    event, in stream order — each is one explorer, worst-case search,
+    or shrink invocation.  Empty for streams that predate the model
+    checker.
+    """
+    rows: List[Dict[str, object]] = []
+    for e in events:
+        kind = e.get("kind")
+        if kind == "check_stats":
+            rows.append(
+                {
+                    "op": "explore",
+                    "target": e.get("algorithm", "?"),
+                    "work": f"{e.get('schedules', 0)} schedules",
+                    "states": e.get("states", 0),
+                    "pruned": int(e.get("pruned_sleep", 0))
+                    + int(e.get("pruned_state", 0)),
+                    "violations": e.get("violations", 0),
+                    "note": "complete"
+                    if e.get("completed")
+                    else "budget hit",
+                }
+            )
+        elif kind == "worstcase_stats":
+            rows.append(
+                {
+                    "op": "worstcase",
+                    "target": e.get("algorithm", "?"),
+                    "work": f"{e.get('evaluations', 0)} evals",
+                    "states": "",
+                    "pruned": "",
+                    "violations": "",
+                    "note": f"{e.get('objective')}="
+                    f"{e.get('best_score')} via {e.get('policy')}",
+                }
+            )
+        elif kind == "shrink_stats":
+            rows.append(
+                {
+                    "op": "shrink",
+                    "target": e.get("invariant", "?"),
+                    "work": f"{e.get('tests', 0)} tests",
+                    "states": "",
+                    "pruned": "",
+                    "violations": "",
+                    "note": f"{e.get('from_len')} -> {e.get('to_len')} "
+                    f"choices",
+                }
+            )
+    return rows
+
+
 def _executed_cells(
     events: Sequence[Dict[str, object]],
 ) -> List[Dict[str, object]]:
@@ -262,6 +319,12 @@ def render_telemetry_report(
         parts.append("")
         parts.append(
             render_table(topo_rows, title="Topology cache")
+        )
+    check_rows = schedule_check_table(events)
+    if check_rows:
+        parts.append("")
+        parts.append(
+            render_table(check_rows, title="Schedule exploration")
         )
     outliers = runtime_outliers(events, factor=outlier_factor)
     parts.append("")

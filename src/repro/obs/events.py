@@ -32,6 +32,10 @@ Event kinds
 ``topology_stats`` compiled-topology cache totals for one sweep
                  (builds vs memory/disk hits), emitted just before
                  ``sweep_end``
+``check_stats``  one schedule-space exploration finished
+                 (:func:`repro.check.explorer.explore` totals)
+``worstcase_stats`` one worst-case schedule search finished
+``shrink_stats`` one counterexample was minimized
 ==============  ====================================================
 
 A cell reaches exactly one terminal event: ``cell_end`` (status
@@ -63,6 +67,13 @@ EVENT_KINDS: Dict[str, tuple] = {
     "phase_end": ("phase", "elapsed", "messages", "entries"),
     "engine_step": ("events", "now", "awake"),
     "topology_stats": ("build", "hit_mem", "hit_disk"),
+    "check_stats": ("algorithm", "schedules", "states", "pruned_sleep",
+                    "pruned_state", "violations", "max_depth",
+                    "completed"),
+    "worstcase_stats": ("algorithm", "objective", "evaluations",
+                        "best_score", "policy"),
+    "shrink_stats": ("invariant", "tests", "from_len", "to_len",
+                     "reduction"),
 }
 
 #: Statuses a ``cell_end`` event may carry.

@@ -70,8 +70,14 @@ class AsyncEngine:
         max_events: int = 5_000_000,
         trace: Optional[Trace] = None,
         recorder: Optional[Recorder] = None,
+        controller=None,
     ):
         self.setup = setup
+        # Schedule controller (repro.check): when set, run() delegates
+        # to the controlled loop.  Same zero-overhead discipline as
+        # NULL_RECORDER — the plain hot path pays one attribute check
+        # per run(), not per event.
+        self._controller = controller
         self.nodes = nodes
         self.adversary = adversary
         self.metrics = Metrics()
@@ -140,6 +146,10 @@ class AsyncEngine:
         phase, so every execution has at least one phase profile entry
         even for algorithms that declare no phases of their own.
         """
+        if self._controller is not None:
+            from repro.check.controller import run_controlled
+
+            return run_controlled(self)
         rec = self.recorder
         rec_enabled = rec.enabled  # fixed for the run; hoisted
         heap = self._heap

@@ -193,6 +193,7 @@ def run_wakeup(
     record_trace: bool = False,
     trace: Optional[Trace] = None,
     recorder: Optional[Recorder] = None,
+    controller=None,
 ) -> WakeUpResult:
     """Execute one wake-up run end to end.
 
@@ -223,9 +224,18 @@ def run_wakeup(
         ``run_start``/``run_end`` frame the engine's own events, and
         ``run_end`` is emitted (with ``all_awake=False``) even when the
         run ends in :class:`~repro.errors.WakeUpFailure`.
+    controller:
+        A :class:`~repro.check.controller.ScheduleController` that
+        resolves the async engine's nondeterminism explicitly (bounded
+        model checking / worst-case search; see ``docs/modelcheck.md``).
+        Async engine only.
     """
     if engine not in ("async", "sync"):
         raise SimulationError(f"unknown engine {engine!r}")
+    if controller is not None and engine != "async":
+        raise SimulationError(
+            "schedule controllers only apply to the async engine"
+        )
     algorithm.validate_setup(setup, engine)
     rec = recorder if recorder is not None else NULL_RECORDER
     if rec.enabled:
@@ -263,7 +273,7 @@ def run_wakeup(
     if engine == "async":
         eng = AsyncEngine(
             setup, nodes, adversary, seed=seed, max_events=max_events,
-            trace=trace, recorder=rec,
+            trace=trace, recorder=rec, controller=controller,
         )
         metrics = eng.run()
         time_complexity = metrics.time_complexity

@@ -1,0 +1,230 @@
+"""Tests for the controlled async engine loop (repro.check.controller).
+
+The load-bearing property is *bit-identical replay*: a schedule chosen
+by any controller must reproduce exactly — through a strict
+ReplayController (choice replay) and through the plain, uncontrolled
+engine fed the recorded per-seq delays (delay replay).  Everything the
+explorer and worst-case search conclude rests on this.
+"""
+
+import pytest
+
+from repro.check.controller import (
+    DEFAULT_REPLAY_DIR,
+    RandomController,
+    ReplayController,
+    ReplayDelay,
+    load_replay,
+    make_replay,
+    save_replay,
+)
+from repro.core import get_algorithm
+from repro.errors import SimulationError
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
+from repro.sim.runner import run_wakeup
+from repro.sim.trace import Trace
+
+
+def _world(graph_fn=cycle_graph, n=4, algo="flooding", wakes=None,
+           knowledge=Knowledge.KT0):
+    wakes = wakes if wakes is not None else {0: 0.0}
+
+    def world():
+        setup = make_setup(
+            graph_fn(n), knowledge=knowledge, bandwidth="LOCAL", seed=1
+        )
+        return (
+            setup,
+            get_algorithm(algo),
+            Adversary(WakeSchedule(dict(wakes)), UnitDelay()),
+        )
+
+    return world
+
+
+def _controlled(world, ctl, trace=None):
+    setup, algo, adv = world()
+    return run_wakeup(
+        setup, algo, adv, engine="async", seed=0,
+        require_all_awake=False, trace=trace, controller=ctl,
+    )
+
+
+class TestControlledRun:
+    def test_matches_plain_run_totals(self):
+        world = _world()
+        ctl = RandomController(seed=3)
+        controlled = _controlled(world, ctl)
+        setup, algo, adv = world()
+        plain = run_wakeup(setup, algo, adv, engine="async", seed=0)
+        # The schedule differs but conserved quantities must agree:
+        # flooding broadcasts exactly once per node.
+        assert controlled.messages == plain.messages
+        assert controlled.bits == plain.bits
+        assert controlled.all_awake
+
+    def test_log_records_every_send_delay(self):
+        world = _world()
+        ctl = RandomController(seed=5)
+        result = _controlled(world, ctl)
+        # The engine's seq counter is shared: the single wake takes
+        # seq 0, sends take 1..messages.
+        assert set(ctl.log.delays) == set(range(1, result.messages + 1))
+        assert all(0.0 < d <= 1.0 for d in ctl.log.delays.values())
+
+    def test_controller_rejected_on_sync_engine(self):
+        world = _world(algo="flooding")
+        setup, algo, adv = world()
+        with pytest.raises(SimulationError, match="async"):
+            run_wakeup(
+                setup, algo, adv, engine="sync",
+                controller=RandomController(),
+            )
+
+
+class TestBitIdenticalReplay:
+    @pytest.mark.parametrize("laziness", [0.0, 0.5, 1.0])
+    def test_plain_engine_replays_recorded_delays(self, laziness):
+        world = _world(complete_graph, 4, wakes={0: 0.0, 2: 0.4})
+        ctl = RandomController(seed=7, laziness=laziness)
+        t1 = Trace()
+        controlled = _controlled(world, ctl, trace=t1)
+
+        setup, algo, adv = world()
+        t2 = Trace()
+        replayed = run_wakeup(
+            setup, algo,
+            Adversary(adv.schedule, ReplayDelay(ctl.log.delays)),
+            engine="async", seed=0, require_all_awake=False, trace=t2,
+        )
+        assert replayed.messages == controlled.messages
+        assert replayed.bits == controlled.bits
+        assert replayed.time == controlled.time
+        assert replayed.wake_time == controlled.wake_time
+        assert (
+            replayed.metrics.events_processed
+            == controlled.metrics.events_processed
+        )
+        assert len(t1.events) == len(t2.events)
+        for a, b in zip(t1.events, t2.events):
+            assert (a.kind, a.vertex, a.time) == (b.kind, b.vertex, b.time)
+
+    def test_strict_choice_replay_reproduces_run(self):
+        world = _world(path_graph, 5, algo="echo-flooding")
+        ctl = RandomController(seed=11, record_states=True)
+        controlled = _controlled(world, ctl)
+
+        replay = ReplayController(list(ctl.log.choices), strict=True)
+        replay.record_states = True
+        again = _controlled(world, replay)
+        assert replay.log.choices == ctl.log.choices
+        assert replay.log.delays == ctl.log.delays
+        assert replay.log.final_state == ctl.log.final_state
+        assert again.messages == controlled.messages
+
+    def test_replay_counts_match_telemetry_event_totals(self):
+        from repro.obs.recorder import Recorder
+
+        class Capture(Recorder):
+            enabled = True
+
+            def __init__(self):
+                self.events = []
+
+            def emit(self, kind, **fields):
+                self.events.append(kind)
+
+            def close(self):
+                pass
+
+        world = _world(cycle_graph, 5)
+        ctl = RandomController(seed=2)
+        rec1 = Capture()
+        setup, algo, adv = world()
+        run_wakeup(
+            setup, algo, adv, engine="async", seed=0,
+            require_all_awake=False, controller=ctl, recorder=rec1,
+        )
+        rec2 = Capture()
+        setup, algo, adv = world()
+        run_wakeup(
+            setup, algo,
+            Adversary(adv.schedule, ReplayDelay(ctl.log.delays)),
+            engine="async", seed=0, require_all_awake=False,
+            recorder=rec2,
+        )
+        from collections import Counter
+
+        assert Counter(rec1.events) == Counter(rec2.events)
+
+
+class TestReplayControllerModes:
+    def test_strict_raises_on_exhausted_choices(self):
+        world = _world(complete_graph, 4)
+        rand = RandomController(seed=1)
+        _controlled(world, rand)
+        assert len(rand.log.choices) > 1
+        short = ReplayController(list(rand.log.choices)[:1], strict=True)
+        with pytest.raises(SimulationError, match="exhausted"):
+            _controlled(world, short)
+
+    def test_lenient_pads_with_canonical_choice(self):
+        world = _world(complete_graph, 4)
+        rand = RandomController(seed=1)
+        _controlled(world, rand)
+        lenient = ReplayController(list(rand.log.choices)[:1])
+        result = _controlled(world, lenient)
+        assert result.all_awake
+
+    def test_lenient_tolerates_out_of_range(self):
+        world = _world(cycle_graph, 4)
+        ctl = ReplayController([999, 999, 999])
+        result = _controlled(world, ctl)
+        assert result.all_awake
+
+    def test_replay_delay_raises_on_unknown_seq(self):
+        rd = ReplayDelay({0: 0.5})
+        assert rd.delay(0, 1, 0.0, 0) == 0.5
+        with pytest.raises(SimulationError, match="seq 1"):
+            rd.delay(0, 1, 0.0, 1)
+
+
+class TestLazinessKnob:
+    def test_lazy_runs_stretch_time(self):
+        world = _world(cycle_graph, 6)
+        eager = RandomController(seed=4, laziness=0.0)
+        r_eager = _controlled(world, eager)
+        lazy = RandomController(seed=4, laziness=1.0)
+        r_lazy = _controlled(world, lazy)
+        assert r_lazy.time > r_eager.time
+        assert r_lazy.messages == r_eager.messages
+
+
+class TestReplayArtifacts:
+    def test_roundtrip(self, tmp_path):
+        world = _world()
+        ctl = RandomController(seed=9)
+        _controlled(world, ctl)
+        _, _, adv = world()
+        replay = make_replay(
+            algorithm="flooding", n=4, log=ctl.log,
+            schedule_times=adv.schedule.times(), seed=0,
+            objective="time", score=1.5,
+            workload={"graph": "cycle"},
+        )
+        path = save_replay(replay, tmp_path / "r.json")
+        loaded = load_replay(path)
+        assert loaded["choices"] == list(ctl.log.choices)
+        assert loaded["delays"] == dict(ctl.log.delays)
+        assert loaded["algorithm"] == "flooding"
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"kind": "something-else"}')
+        with pytest.raises(SimulationError, match="artifact"):
+            load_replay(p)
+
+    def test_default_replay_dir_is_under_results(self):
+        assert "results" in str(DEFAULT_REPLAY_DIR)

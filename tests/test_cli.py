@@ -78,3 +78,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Theorem 1 frontier" in out
         assert "Theorem 2 matching upper bound" in out
+
+
+class TestCheckCommands:
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check", "flooding"])
+        assert args.n == 4
+        assert args.graph == "cycle"
+        assert args.mutation is None
+        assert args.replay_dir.endswith(".replays")
+
+    def test_check_clean_workload_exits_zero(self, capsys):
+        code = main(["check", "flooding", "--n", "4", "--graph", "cycle"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Schedule-space exploration" in out
+        assert "complete" in out
+
+    def test_check_mutation_finds_and_shrinks(self, capsys, tmp_path):
+        code = main(
+            [
+                "check", "echo-flooding", "--n", "4", "--graph", "path",
+                "--mutation", "skip-fifo",
+                "--replay-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "violation: fifo-per-channel" in out
+        assert "shrunk witness" in out
+        artifacts = list(tmp_path.glob("check-*.json"))
+        assert len(artifacts) == 1
+
+    def test_worstcase_classg(self, capsys, tmp_path):
+        code = main(
+            [
+                "worstcase", "flooding", "--workload", "class-g",
+                "--n", "6", "--trials", "8",
+                "--out", str(tmp_path / "wc.json"),
+                "--replay-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Worst-case search" in out
+        assert "bit-identically" in out
+        assert (tmp_path / "wc.json").exists()
+
+    def test_cache_info_reports_replays(self, capsys, tmp_path):
+        (tmp_path / "a.json").write_text("{}")
+        code = main(["cache", "info", "--replay-dir", str(tmp_path)])
+        assert code == 0
+        assert "replays" in capsys.readouterr().out
+
+    def test_cache_purge_covers_replays(self, capsys, tmp_path):
+        (tmp_path / "a.json").write_text("{}")
+        (tmp_path / "b.json").write_text("{}")
+        code = main(
+            [
+                "cache", "purge", "replays",
+                "--cache-dir", str(tmp_path / "none"),
+                "--topology-dir", str(tmp_path / "none2"),
+                "--replay-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "2 replay artifact(s)" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.json"))

@@ -82,6 +82,14 @@ SAMPLE_FIELDS = {
                   "entries": 1},
     "engine_step": {"events": 1000, "now": 2.5, "awake": 12},
     "topology_stats": {"build": 2, "hit_mem": 4, "hit_disk": 0},
+    "check_stats": {"algorithm": "flooding", "schedules": 120,
+                    "states": 340, "pruned_sleep": 18, "pruned_state": 44,
+                    "violations": 0, "max_depth": 12, "completed": True},
+    "worstcase_stats": {"algorithm": "flooding", "objective": "time",
+                        "evaluations": 61, "best_score": 4.999,
+                        "policy": "feed-awake"},
+    "shrink_stats": {"invariant": "fifo-per-channel", "tests": 37,
+                     "from_len": 12, "to_len": 2, "reduction": 10},
 }
 
 
@@ -669,3 +677,60 @@ class TestCliTelemetry:
 
         assert main(["report", "--telemetry", "/nonexistent.jsonl"]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestScheduleCheckSection:
+    """The model checker's kinds flow into the telemetry report."""
+
+    def test_check_stats_renders_in_report(self, tmp_path):
+        from repro.__main__ import main
+        from repro.analysis.telemetry import (
+            render_telemetry_report,
+            schedule_check_table,
+        )
+
+        path = tmp_path / "check.jsonl"
+        code = main(
+            [
+                "check", "flooding", "--n", "3", "--graph", "cycle",
+                "--telemetry", str(path),
+            ]
+        )
+        assert code == 0
+        events = load_events(path, strict=True)
+        rows = schedule_check_table(events)
+        assert [r["op"] for r in rows] == ["explore"]
+        assert rows[0]["violations"] == 0
+        report = render_telemetry_report(path)
+        assert "Schedule exploration" in report
+
+    def test_all_three_kinds_make_rows(self):
+        from repro.obs.events import make_event
+        from repro.analysis.telemetry import schedule_check_table
+
+        events = [
+            make_event(
+                "check_stats", algorithm="flooding", schedules=4,
+                states=10, pruned_sleep=1, pruned_state=2, violations=0,
+                max_depth=3, completed=True,
+            ),
+            make_event(
+                "worstcase_stats", algorithm="flooding",
+                objective="time", evaluations=7, best_score=2.5,
+                policy="feed-awake",
+            ),
+            make_event(
+                "shrink_stats", invariant="fifo-per-channel", tests=12,
+                from_len=9, to_len=2, reduction=0.7778,
+            ),
+        ]
+        rows = schedule_check_table(events)
+        assert [r["op"] for r in rows] == ["explore", "worstcase", "shrink"]
+        assert rows[0]["pruned"] == 3
+        assert "feed-awake" in rows[1]["note"]
+        assert "9 -> 2" in rows[2]["note"]
+
+    def test_streams_without_check_kinds_stay_empty(self):
+        from repro.analysis.telemetry import schedule_check_table
+
+        assert schedule_check_table([{"kind": "run_start"}]) == []
