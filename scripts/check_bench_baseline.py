@@ -16,6 +16,12 @@ Guards the perf-sensitive layers in CI.  Profiles:
   ``benchmarks/bench_schedule_search.py`` cases keyed by
   ``(mode, algorithm, n)``; the guarded metric is
   ``schedules_per_sec`` against ``BENCH_check.json``.
+* ``--profile bulk`` — the vectorized bulk frontier engine.
+  ``benchmarks/bench_bulk_engine.py`` cases keyed by
+  ``(algorithm, engine, n)``; the guarded metric is
+  ``events_per_sec`` against ``BENCH_bulk.json`` (which carries both
+  lanes, so a regression in either the sync comparison point or the
+  bulk lane itself trips the gate).
 
 The script fails (exit 1) when
 
@@ -52,6 +58,21 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 PROFILES = {
     "engine": {
         "baseline": "BENCH_engine.json",
+        "key_fields": ("algorithm", "engine", "n"),
+        "metric": "events_per_sec",
+        "unit": "events/s",
+        "required_fields": (
+            "algorithm",
+            "engine",
+            "n",
+            "events",
+            "messages",
+            "wall_s",
+            "events_per_sec",
+        ),
+    },
+    "bulk": {
+        "baseline": "BENCH_bulk.json",
         "key_fields": ("algorithm", "engine", "n"),
         "metric": "events_per_sec",
         "unit": "events/s",

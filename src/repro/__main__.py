@@ -600,6 +600,10 @@ def _cmd_sweep(args) -> int:
     knowledge = "KT1" if probe.requires_kt1 else "KT0"
     bandwidth = "CONGEST" if probe.congest_safe else "LOCAL"
     engine = probe.synchrony if probe.synchrony in ("sync", "async") else "async"
+    if args.backend == "bulk" and probe.synchrony == "both":
+        # The bulk lane implements sync semantics; a both-synchrony
+        # algorithm (which would default to async) runs sync rounds.
+        engine = "sync"
     sizes = args.sizes
     if args.max_n is not None:
         sizes = [n for n in (16 << i for i in range(30)) if n <= args.max_n]
@@ -622,6 +626,7 @@ def _cmd_sweep(args) -> int:
             trials=args.trials,
             seed=args.seed,
             flight_recorder=args.flight_recorder,
+            backend=args.backend,
         )
     finally:
         executor.recorder.close()
@@ -725,6 +730,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--degree", type=float, default=6.0)
     p_sweep.add_argument("--trials", type=int, default=2)
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--backend",
+        choices=("auto", "bulk"),
+        default="auto",
+        help="bulk: vectorized frontier lane for synchronous runs "
+        "(needs repro[bulk]; algorithms without a frontier kernel "
+        "fall back to the sync engine)",
+    )
     p_sweep.add_argument(
         "--out",
         default=None,

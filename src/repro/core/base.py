@@ -94,6 +94,18 @@ class WakeUpAlgorithm(AlgorithmBase):
         """Instantiate this node's protocol logic."""
         raise NotImplementedError
 
+    def bulk_kernel(self, setup: NetworkSetup):
+        """Frontier kernel for the bulk engine, or None (the default).
+
+        Frontier-expressible algorithms override this to return a fresh
+        :class:`~repro.sim.bulk.BulkKernel` capturing the same
+        parameters :meth:`make_node` would bake into node instances.
+        Returning None means "no bulk support": the runner transparently
+        falls back to the per-message sync engine, so overriding is
+        purely an optimization, never a requirement.
+        """
+        return None
+
     # ------------------------------------------------------------------
     def validate_setup(self, setup: NetworkSetup, engine: str) -> None:
         """Raise :class:`SimulationError` if the setup/engine combination

@@ -42,6 +42,11 @@ class Flooding(WakeUpAlgorithm):
     def make_node(self, vertex, setup) -> NodeAlgorithm:
         return _FloodingNode()
 
+    def bulk_kernel(self, setup):
+        from repro.sim.bulk import FloodingBulkKernel
+
+        return FloodingBulkKernel((WAKE_TAG,))
+
 
 class EchoFlooding(WakeUpAlgorithm):
     """Flooding variant where nodes acknowledge their waker.

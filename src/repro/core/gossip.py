@@ -83,6 +83,14 @@ class PushGossipWakeUp(WakeUpAlgorithm):
             budget = 8 * (1 << setup.log2_n_bound)
         return _PushNode(budget)
 
+    def bulk_kernel(self, setup):
+        from repro.sim.bulk import PushGossipBulkKernel
+
+        budget = self._active_rounds
+        if budget <= 0:
+            budget = 8 * (1 << setup.log2_n_bound)
+        return PushGossipBulkKernel((RUMOR,), budget)
+
 
 class _PushPullNode(NodeAlgorithm):
     def __init__(

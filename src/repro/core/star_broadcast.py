@@ -89,3 +89,8 @@ class StarBroadcast(WakeUpAlgorithm):
 
     def make_node(self, vertex, setup) -> NodeAlgorithm:
         return _StarNode(self._p, self._thresh)
+
+    def bulk_kernel(self, setup):
+        from repro.sim.bulk import StarBroadcastBulkKernel
+
+        return StarBroadcastBulkKernel((WAKE,), self._p, self._thresh)

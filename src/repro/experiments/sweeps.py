@@ -39,6 +39,30 @@ from repro.sim.runner import run_wakeup
 Workload = Callable[[int], Tuple[Graph, List]]
 
 
+def resolve_backend(engine: str, backend: Optional[str]) -> str:
+    """Apply the ``backend`` knob to an engine selection.
+
+    ``backend=None`` / ``"auto"`` leaves the engine untouched;
+    ``"bulk"`` routes synchronous runs through the vectorized frontier
+    lane (:mod:`repro.sim.bulk` — algorithms without a kernel still
+    fall back to the sync engine per cell, transparently).  Asking for
+    the bulk backend on an async sweep is a contradiction, not a
+    fallback, and raises.
+    """
+    if backend is None or backend == "auto":
+        return engine
+    if backend == "bulk":
+        if engine == "async":
+            raise ReproError(
+                "backend='bulk' implements synchronous semantics; "
+                "run with engine='sync' (or drop the backend knob)"
+            )
+        return "bulk"
+    raise ReproError(
+        f"unknown backend {backend!r}; known: 'auto', 'bulk'"
+    )
+
+
 @dataclass
 class SweepRow:
     """Aggregated measurements for one network size."""
@@ -76,8 +100,10 @@ def sweep(
     trials: int = 3,
     seed: int = 0,
     delays: Optional[DelayStrategy] = None,
+    backend: Optional[str] = None,
 ) -> List[SweepRow]:
     """Run ``algorithm`` across ``sizes``; one SweepRow per size."""
+    engine = resolve_backend(engine, backend)
     rows: List[SweepRow] = []
     for n in sizes:
         msgs: List[float] = []
@@ -298,11 +324,16 @@ def sweep_cells(
     delay: Optional[Dict[str, Any]] = None,
     algo_params: Optional[Dict[str, Any]] = None,
     flight_recorder: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[CellSpec]:
     """The cell grid of a sweep: ``len(sizes) * trials`` independent
     specs, seeded exactly like :func:`sweep`'s inner loop.
     ``flight_recorder`` arms a bounded crash trace per cell (see
-    :class:`~repro.experiments.parallel.CellSpec`)."""
+    :class:`~repro.experiments.parallel.CellSpec`); ``backend="bulk"``
+    routes the grid through the vectorized frontier lane (the engine
+    recorded in each spec — and hence the cache key — becomes
+    ``"bulk"``)."""
+    engine = resolve_backend(engine, backend)
     return [
         CellSpec(
             algorithm=algorithm,
@@ -417,18 +448,22 @@ def parallel_sweep(
     delay: Optional[Dict[str, Any]] = None,
     algo_params: Optional[Dict[str, Any]] = None,
     flight_recorder: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[List[SweepRow], List[CellOutcome]]:
     """Executor-routed sweep: returns the aggregated rows *and* the raw
     per-cell outcomes (summary scalars, cache hits, failure records).
 
     With no ``executor`` the cells run inline and uncached — the serial
     baseline, bit-identical to what any worker pool produces.
+    ``backend="bulk"`` routes every cell through the vectorized
+    frontier lane (see :func:`resolve_backend`).
     """
     cells = sweep_cells(
         algorithm,
         workload,
         sizes,
         engine=engine,
+        backend=backend,
         knowledge=knowledge,
         bandwidth=bandwidth,
         trials=trials,

@@ -325,6 +325,21 @@ def clear_memory_cache() -> None:
         _TOPO_BY_GRAPH.clear()
 
 
+def compiled_for_graph(graph: Graph) -> Optional[CompiledTopology]:
+    """The LRU-managed topology whose materialized graph is ``graph``.
+
+    Returns None for any graph that is not (or is no longer) the
+    materialized view of a cached artifact — callers then fall back to
+    reading the graph directly.  This is the graph-keyed lookup both
+    :func:`cached_spanner` and the bulk engine's CSR reuse rest on.
+    """
+    with _MEM_LOCK:
+        topo = _TOPO_BY_GRAPH.get(id(graph))
+    if topo is None or topo._graph is not graph:
+        return None
+    return topo
+
+
 def compiled_topology(
     workload: Dict[str, Any],
     n: int,
@@ -378,9 +393,8 @@ def cached_spanner(
     ``has_edge`` — so a spanner rebuilt from its edge list is
     equivalent).
     """
-    with _MEM_LOCK:
-        topo = _TOPO_BY_GRAPH.get(id(graph))
-    if topo is None or topo._graph is not graph:
+    topo = compiled_for_graph(graph)
+    if topo is None:
         return builder(graph)
     tag = "spanner:" + json.dumps(
         {"kind": kind, **params}, sort_keys=True, separators=(",", ":"),

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 Vertex = Hashable
 
@@ -46,6 +46,10 @@ class Metrics:
     phase_time: Dict[str, float] = field(default_factory=dict)
     phase_messages: Counter = field(default_factory=Counter)
     phase_entries: Counter = field(default_factory=Counter)
+    # Messages sent per round, filled by the bulk engine (the
+    # per-message engines derive the same histogram from traces).
+    # In-process only: O(rounds), dropped by compact().
+    round_messages: List[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Recording (called by engines)

@@ -208,7 +208,14 @@ def run_wakeup(
     adversary:
         Wake schedule plus (async) delay strategy.
     engine:
-        "async" or "sync".
+        "async", "sync", or "bulk".  "bulk" requests the vectorized
+        frontier lane (:mod:`repro.sim.bulk`): algorithms that declare
+        a :meth:`~repro.core.base.WakeUpAlgorithm.bulk_kernel` run as
+        whole-frontier rounds with exactly the sync engine's aggregate
+        metrics; runs outside the bulk contract (no kernel, a trace
+        requested, a drop strategy armed) fall back to the sync engine
+        transparently.  The result's ``engine`` field records the lane
+        that actually ran.
     require_all_awake:
         If True (default) a run that leaves nodes asleep raises
         :class:`~repro.errors.WakeUpFailure`; benches measuring failure
@@ -230,19 +237,35 @@ def run_wakeup(
         model checking / worst-case search; see ``docs/modelcheck.md``).
         Async engine only.
     """
-    if engine not in ("async", "sync"):
+    if engine not in ("async", "sync", "bulk"):
         raise SimulationError(f"unknown engine {engine!r}")
     if controller is not None and engine != "async":
         raise SimulationError(
             "schedule controllers only apply to the async engine"
         )
-    algorithm.validate_setup(setup, engine)
+    # The bulk lane implements sync-model semantics; algorithms declare
+    # synchrony against the model, not the implementation.
+    algorithm.validate_setup(
+        setup, "sync" if engine == "bulk" else engine
+    )
+    if trace is None and record_trace:
+        trace = Trace()
+
+    lane = engine
+    kernel = None
+    if engine == "bulk":
+        from repro.sim.bulk import resolve_bulk_lane
+
+        kernel = resolve_bulk_lane(algorithm, setup, adversary, trace)
+        if kernel is None:
+            lane = "sync"
+
     rec = recorder if recorder is not None else NULL_RECORDER
     if rec.enabled:
         rec.emit(
             "run_start",
             algorithm=algorithm.name,
-            engine=engine,
+            engine=lane,
             n=setup.n,
             seed=seed,
         )
@@ -266,11 +289,21 @@ def run_wakeup(
             advice_total = sum(lengths)
             advice_avg = advice_total / len(lengths) if lengths else 0.0
 
-    nodes = algorithm.build_nodes(setup)
-    if trace is None and record_trace:
-        trace = Trace()
+    if lane == "bulk":
+        # The kernel carries the node logic; per-vertex instances are
+        # never built (that O(n) Python loop is part of what the bulk
+        # lane removes from the critical path).
+        from repro.sim.bulk import BulkSyncEngine
 
-    if engine == "async":
+        eng = BulkSyncEngine(
+            setup, kernel, adversary, seed=seed, max_rounds=max_rounds,
+            recorder=rec,
+        )
+        metrics = eng.run()
+        time_complexity = float(eng.round_complexity)
+        time_all_awake = metrics.time_all_awake
+    elif lane == "async":
+        nodes = algorithm.build_nodes(setup)
         eng = AsyncEngine(
             setup, nodes, adversary, seed=seed, max_events=max_events,
             trace=trace, recorder=rec, controller=controller,
@@ -279,6 +312,7 @@ def run_wakeup(
         time_complexity = metrics.time_complexity
         time_all_awake = metrics.time_all_awake
     else:
+        nodes = algorithm.build_nodes(setup)
         eng = SyncEngine(
             setup, nodes, adversary, seed=seed, max_rounds=max_rounds,
             trace=trace, recorder=rec,
@@ -294,7 +328,7 @@ def run_wakeup(
         rec.emit(
             "run_end",
             algorithm=algorithm.name,
-            engine=engine,
+            engine=lane,
             n=setup.n,
             messages=metrics.messages_total,
             time=time_complexity,
@@ -306,7 +340,7 @@ def run_wakeup(
 
     return WakeUpResult(
         algorithm=algorithm.name,
-        engine=engine,
+        engine=lane,
         n=setup.n,
         messages=metrics.messages_total,
         bits=metrics.bits_total,

@@ -18,6 +18,22 @@ from repro.models.knowledge import Knowledge, make_setup
 from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
 
 
+def pytest_collection_modifyitems(config, items):
+    """Auto-skip ``bulk``-marked tests when the repro[bulk] extras
+    (numpy + scipy) are not installed — the dependency-light seed
+    environment stays green without them."""
+    from repro.sim.bulk import HAS_BULK
+
+    if HAS_BULK:
+        return
+    skip = pytest.mark.skip(
+        reason="repro[bulk] extras not installed (pip install repro[bulk])"
+    )
+    for item in items:
+        if "bulk" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def small_graphs():
     """A zoo of small named graphs covering the structural corner cases."""

@@ -1,0 +1,110 @@
+"""Adversary wake patterns at bulk scale.
+
+PR 3 fixed the sync engine to round fractional wake times *up* (a wake
+scheduled at t = 2.7 lands in round 3, never round 2).  The bulk engine
+re-implements the schedule from scratch, so these tests pin the ceil'd
+semantics down on both lanes at n ~ 1024: staggered, fractional, and
+exact-integer-float patterns must produce identical per-vertex wake
+rounds and identical completion rounds, sync vs bulk.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.flooding import Flooding
+from repro.core.gossip import PushGossipWakeUp
+from repro.core.star_broadcast import StarBroadcast
+from repro.graphs.generators import connected_erdos_renyi
+from repro.models.knowledge import Knowledge, make_setup
+from repro.sim.adversary import Adversary, WakeSchedule
+from repro.sim.runner import run_wakeup
+
+pytestmark = pytest.mark.bulk
+
+N = 1024
+
+_CACHE = {}
+
+
+def _graph():
+    if "g" not in _CACHE:
+        _CACHE["g"] = connected_erdos_renyi(N, 7.0 / (N - 1), seed=41)
+    return _CACHE["g"]
+
+
+def _patterns(verts):
+    return {
+        # Integer waves: one new wave every 3 rounds.
+        "staggered-integer": WakeSchedule.staggered(
+            [(3.0 * i, verts[8 * i : 8 * (i + 1)]) for i in range(8)]
+        ),
+        # Fractional waves: 2.7 -> round 3, 5.4 -> round 6, ...
+        "staggered-fractional": WakeSchedule.staggered(
+            [(2.7 * i, verts[8 * i : 8 * (i + 1)]) for i in range(8)]
+        ),
+        # Every scheduled vertex at its own fractional time.
+        "per-vertex-fractional": WakeSchedule(
+            {v: 0.31 * i for i, v in enumerate(verts[::16])}
+        ),
+        # Integer-valued floats must NOT be pushed a round later:
+        # ceil(2.0) == 2.
+        "integer-floats": WakeSchedule(
+            {v: float(i) for i, v in enumerate(verts[:12])}
+        ),
+    }
+
+
+ALGOS = {
+    "flooding": Flooding,
+    "push-gossip": lambda: PushGossipWakeUp(active_rounds=6),
+    "star-broadcast": StarBroadcast,
+}
+
+
+@pytest.mark.parametrize("pattern", ["staggered-integer",
+                                     "staggered-fractional",
+                                     "per-vertex-fractional",
+                                     "integer-floats"])
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+def test_wake_pattern_parity(algo, pattern):
+    graph = _graph()
+    verts = list(graph.vertices())
+    schedule = _patterns(verts)[pattern]
+    setup = make_setup(graph, knowledge=Knowledge.KT1, seed=13)
+    adv = Adversary(schedule)
+    rs = run_wakeup(
+        setup, ALGOS[algo](), adv, engine="sync", seed=13,
+        require_all_awake=False,
+    )
+    rb = run_wakeup(
+        setup, ALGOS[algo](), adv, engine="bulk", seed=13,
+        require_all_awake=False,
+    )
+    assert rb.engine == "bulk"
+    # Identical completion rounds...
+    assert rb.time == rs.time
+    assert rb.time_all_awake == rs.time_all_awake
+    assert rb.metrics.events_processed == rs.metrics.events_processed
+    # ...and identical per-vertex wake rounds.
+    assert rb.wake_time == rs.wake_time
+
+
+@pytest.mark.parametrize("t,expected", [(0.0, 0), (2.0, 2), (2.3, 3),
+                                        (2.7, 3), (5.0, 5)])
+def test_fractional_times_ceil_on_both_engines(t, expected):
+    """An isolated vertex woken at time t wakes in round ceil(t) on
+    both lanes (the PR-3 semantics, re-checked against math.ceil)."""
+    graph = _graph()
+    v = next(iter(graph.vertices()))
+    setup = make_setup(graph, knowledge=Knowledge.KT1, seed=2)
+    adv = Adversary(WakeSchedule({v: t}))
+    assert expected == math.ceil(t)
+    for engine in ("sync", "bulk"):
+        r = run_wakeup(
+            setup, Flooding(), adv, engine=engine, seed=2,
+            require_all_awake=False,
+        )
+        assert r.wake_time[v] == float(expected), engine
