@@ -40,7 +40,11 @@ from repro.sim.adversary import Adversary, WakeSchedule
 from repro.sim.bulk import HAS_BULK
 from repro.sim.runner import run_wakeup
 
-SCHEMA = 1
+# Envelope v2: the unified BENCH_*.json schema (schema, created,
+# python, profile, cases); the profile names which PROFILES entry
+# in repro.analysis.perf guards it.
+SCHEMA = 2
+PROFILE = "bulk"
 
 DEFAULT_SIZES = (16384, 65536)
 AVG_DEGREE = 8.0
@@ -131,6 +135,7 @@ def run_bench(sizes=DEFAULT_SIZES, repeats: int = 3, quiet: bool = False) -> dic
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": sys.version.split()[0],
+        "profile": PROFILE,
         "repeats": repeats,
         "avg_degree": AVG_DEGREE,
         "cases": cases,
@@ -140,7 +145,7 @@ def run_bench(sizes=DEFAULT_SIZES, repeats: int = 3, quiet: bool = False) -> dic
 def validate(payload: dict) -> list:
     """Schema problems in a bench payload (empty list = valid)."""
     problems = []
-    for key in ("schema", "cases"):
+    for key in ("schema", "created", "python", "profile", "cases"):
         if key not in payload:
             problems.append(f"missing top-level field {key!r}")
     for i, case in enumerate(payload.get("cases", [])):

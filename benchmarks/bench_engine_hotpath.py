@@ -44,7 +44,11 @@ from repro.models.knowledge import Knowledge, make_setup
 from repro.sim.adversary import Adversary, UniformRandomDelay, WakeSchedule
 from repro.sim.runner import run_wakeup
 
-SCHEMA = 1
+# Envelope v2: the unified BENCH_*.json schema — every bench carries
+# the same top level (schema, created, python, profile, cases); the
+# profile names which PROFILES entry in repro.analysis.perf guards it.
+SCHEMA = 2
+PROFILE = "engine"
 
 #: (algorithm, engine, knowledge) cases; sizes come from the CLI.
 CASES = (
@@ -125,6 +129,7 @@ def run_bench(sizes=DEFAULT_SIZES, repeats: int = 3, quiet: bool = False) -> dic
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": sys.version.split()[0],
+        "profile": PROFILE,
         "repeats": repeats,
         "avg_degree": AVG_DEGREE,
         "cases": cases,
@@ -134,7 +139,7 @@ def run_bench(sizes=DEFAULT_SIZES, repeats: int = 3, quiet: bool = False) -> dic
 def validate(payload: dict) -> list:
     """Schema problems in a bench payload (empty list = valid)."""
     problems = []
-    for key in ("schema", "cases"):
+    for key in ("schema", "created", "python", "profile", "cases"):
         if key not in payload:
             problems.append(f"missing top-level field {key!r}")
     for i, case in enumerate(payload.get("cases", [])):

@@ -38,7 +38,11 @@ from repro.lowerbounds.graph_g import build_class_g
 from repro.models.knowledge import Knowledge, make_setup
 from repro.sim.adversary import Adversary, UnitDelay, WakeSchedule
 
-SCHEMA = 1
+# Envelope v2: the unified BENCH_*.json schema (schema, created,
+# python, profile, cases); the profile names which PROFILES entry
+# in repro.analysis.perf guards it.
+SCHEMA = 2
+PROFILE = "check"
 
 #: (mode, algorithm, graph, n) — the benchmark matrix.
 CASES = (
@@ -130,6 +134,7 @@ def run_bench(cases=CASES, repeats: int = 3, quiet: bool = False) -> dict:
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": sys.version.split()[0],
+        "profile": PROFILE,
         "repeats": repeats,
         "cases": recs,
     }
@@ -138,7 +143,7 @@ def run_bench(cases=CASES, repeats: int = 3, quiet: bool = False) -> dict:
 def validate(payload: dict) -> list:
     """Schema problems in a bench payload (empty list = valid)."""
     problems = []
-    for key in ("schema", "cases"):
+    for key in ("schema", "created", "python", "profile", "cases"):
         if key not in payload:
             problems.append(f"missing top-level field {key!r}")
     for i, case in enumerate(payload.get("cases", [])):

@@ -57,7 +57,11 @@ from repro.graphs.compile import (
 from repro.graphs.spanner import greedy_spanner
 from repro.graphs.traversal import awake_distance
 
-SCHEMA = 1
+# Envelope v2: the unified BENCH_*.json schema (schema, created,
+# python, profile, cases); the profile names which PROFILES entry
+# in repro.analysis.perf guards it.
+SCHEMA = 2
+PROFILE = "topology"
 
 SPANNER_K = 3
 
@@ -179,6 +183,7 @@ def run_bench(
         "schema": SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": sys.version.split()[0],
+        "profile": PROFILE,
         "trials": trials,
         "cases": cases,
     }
@@ -187,7 +192,7 @@ def run_bench(
 def validate(payload: dict) -> list:
     """Schema problems in a bench payload (empty list = valid)."""
     problems = []
-    for key in ("schema", "cases"):
+    for key in ("schema", "created", "python", "profile", "cases"):
         if key not in payload:
             problems.append(f"missing top-level field {key!r}")
     for i, case in enumerate(payload.get("cases", [])):

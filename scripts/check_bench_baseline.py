@@ -53,73 +53,22 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-# Field lists must match the benches' CASE_FIELDS.
-PROFILES = {
-    "engine": {
-        "baseline": "BENCH_engine.json",
-        "key_fields": ("algorithm", "engine", "n"),
-        "metric": "events_per_sec",
-        "unit": "events/s",
-        "required_fields": (
-            "algorithm",
-            "engine",
-            "n",
-            "events",
-            "messages",
-            "wall_s",
-            "events_per_sec",
-        ),
-    },
-    "bulk": {
-        "baseline": "BENCH_bulk.json",
-        "key_fields": ("algorithm", "engine", "n"),
-        "metric": "events_per_sec",
-        "unit": "events/s",
-        "required_fields": (
-            "algorithm",
-            "engine",
-            "n",
-            "events",
-            "messages",
-            "wall_s",
-            "events_per_sec",
-        ),
-    },
-    "check": {
-        "baseline": "BENCH_check.json",
-        "key_fields": ("mode", "algorithm", "n"),
-        "metric": "schedules_per_sec",
-        "unit": "schedules/s",
-        "required_fields": (
-            "mode",
-            "algorithm",
-            "n",
-            "schedules",
-            "wall_s",
-            "schedules_per_sec",
-        ),
-    },
-    "topology": {
-        "baseline": "BENCH_topology.json",
-        "key_fields": ("workload", "n"),
-        "metric": "warm_speedup",
-        "unit": "x warm speedup",
-        "required_fields": (
-            "workload",
-            "n",
-            "trials",
-            "legacy_s",
-            "cold_s",
-            "warm_s",
-            "warm_speedup",
-        ),
-    },
-}
+# The profile registry (baseline file, case key, guarded metric,
+# required fields) lives in repro.analysis.perf — the same source the
+# unified perf-ledger gate reads — so the two checkers can never drift.
+from repro.analysis.perf import BENCH_SCHEMAS, PROFILES  # noqa: E402
 
 
-def load_cases(path: Path, profile: dict, errors: list) -> dict:
-    """Map the profile's case key -> case dict, validating fields."""
+def load_cases(path: Path, profile: dict, errors: list,
+               profile_name: str = "") -> dict:
+    """Map the profile's case key -> case dict, validating fields.
+
+    Accepts both bench envelopes: schema 1 (legacy, no ``profile``
+    field) and schema 2 (which declares its profile — validated
+    against the requested one when present).
+    """
     try:
         payload = json.loads(path.read_text())
     except FileNotFoundError:
@@ -127,6 +76,20 @@ def load_cases(path: Path, profile: dict, errors: list) -> dict:
         return {}
     except json.JSONDecodeError as exc:
         errors.append(f"{path}: not valid JSON ({exc})")
+        return {}
+    schema = payload.get("schema")
+    if schema not in BENCH_SCHEMAS:
+        errors.append(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(known: {BENCH_SCHEMAS})"
+        )
+        return {}
+    declared = payload.get("profile")
+    if declared is not None and profile_name and declared != profile_name:
+        errors.append(
+            f"{path}: declares profile {declared!r}, "
+            f"checked as {profile_name!r}"
+        )
         return {}
     cases = payload.get("cases")
     if not isinstance(cases, list) or not cases:
@@ -171,8 +134,12 @@ def main(argv=None) -> int:
     metric, unit = profile["metric"], profile["unit"]
 
     errors: list = []
-    baseline = load_cases(baseline_path, profile, errors)
-    candidate = load_cases(args.candidate, profile, errors)
+    baseline = load_cases(
+        baseline_path, profile, errors, profile_name=args.profile
+    )
+    candidate = load_cases(
+        args.candidate, profile, errors, profile_name=args.profile
+    )
 
     shared = sorted(set(baseline) & set(candidate), key=repr)
     if baseline and candidate and not shared:

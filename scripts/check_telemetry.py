@@ -12,7 +12,12 @@ Checks, in order:
 3. every *executed* ok cell (``cell_end`` with ``status=ok`` and
    ``cached=false``) has at least one ``phase_end`` event for its key
    — the profiling guarantee the engines' implicit "engine" phase
-   provides.
+   provides;
+4. every ``metrics_snapshot`` event carries a schema-valid registry
+   snapshot (sections present, non-negative counters, histogram bucket
+   sanity via :func:`repro.obs.metrics.validate_snapshot`), and
+   counters are monotone non-decreasing across successive snapshots —
+   one process-global registry only ever accumulates.
 
 Exit status 0 and a one-line summary on success; 1 with one line per
 violation otherwise.  ``--min-cells N`` additionally requires at least
@@ -42,6 +47,44 @@ from repro.obs.events import (  # noqa: E402
     parse_line,
     validate_event,
 )
+from repro.obs.metrics import validate_snapshot  # noqa: E402
+
+
+def check_metrics_snapshots(events) -> List[str]:
+    """Violations in the stream's ``metrics_snapshot`` events.
+
+    Each snapshot must pass the registry schema check, and every
+    counter series must be monotone non-decreasing from one snapshot to
+    the next (snapshots are cumulative views of one registry, never
+    resets — a drop means two registries wrote the same stream).
+    """
+    errors: List[str] = []
+    prev_counters: Dict[str, float] = {}
+    index = 0
+    for e in events:
+        if e.get("kind") != "metrics_snapshot":
+            continue
+        index += 1
+        for problem in validate_snapshot(e):
+            errors.append(f"metrics_snapshot #{index}: {problem}")
+        counters = e.get("counters")
+        if not isinstance(counters, dict):
+            continue
+        for key, value in counters.items():
+            before = prev_counters.get(key, 0.0)
+            if float(value) < before:
+                errors.append(
+                    f"metrics_snapshot #{index}: counter {key} "
+                    f"dropped {before} -> {value} (must be monotone)"
+                )
+        for key in prev_counters:
+            if key not in counters:
+                errors.append(
+                    f"metrics_snapshot #{index}: counter {key} "
+                    "disappeared (must be monotone)"
+                )
+        prev_counters = {k: float(v) for k, v in counters.items()}
+    return errors
 
 
 def check_stream(lines, min_cells: int = 0, expect_topology_builds=None):
@@ -101,6 +144,7 @@ def check_stream(lines, min_cells: int = 0, expect_topology_builds=None):
         errors.append(
             f"only {len(started)} cell_start events (require >= {min_cells})"
         )
+    errors.extend(check_metrics_snapshots(events))
     topo = {"build": 0, "hit_mem": 0, "hit_disk": 0}
     for e in events:
         if e.get("kind") == "topology_stats":

@@ -20,11 +20,23 @@ Subcommands:
   against a random-delay baseline and saves a replay artifact;
 * ``cache``   — inspect or purge the on-disk runtime caches (the cell
   result cache, the compiled-topology artifact store, and the
-  schedule-replay artifacts).
+  schedule-replay artifacts);
+* ``metrics`` — render a metrics snapshot file (written by
+  ``--metrics``) as JSON or Prometheus text exposition format;
+* ``top``     — the metrics dashboard (executor throughput, cache
+  hit-rates, per-phase p50/p99) rendered from a snapshot file;
+* ``perf``    — the append-only perf ledger over the ``BENCH_*.json``
+  outputs: ``record`` / ``show`` / ``check`` (the unified regression
+  gate).
 
 Cell-based commands (``table1``, ``sweep``) accept ``--telemetry PATH``
 to stream structured events (:mod:`repro.obs`) to a JSONL file and
-``--progress {auto,on,off}`` for a live stderr progress line.
+``--progress {auto,on,off,top}`` for a live stderr progress line
+(``top`` renders the full metrics dashboard instead of one line).
+Instrumented commands (``table1``, ``sweep``, ``check``,
+``worstcase``) accept ``--metrics [PATH]`` to enable the
+:mod:`repro.obs.metrics` registry and write its JSON snapshot on exit
+(default: ``results/metrics.json``).
 
 Examples::
 
@@ -34,6 +46,9 @@ Examples::
     python -m repro sweep child-encoding --sizes 64 128 256 512
     python -m repro sweep flooding --telemetry runs.jsonl
     python -m repro report --telemetry runs.jsonl
+    python -m repro sweep flooding --metrics && python -m repro top
+    python -m repro metrics dump --format prometheus
+    python -m repro perf check --candidate engine=BENCH_engine.json
 """
 
 from __future__ import annotations
@@ -275,6 +290,132 @@ def _cmd_cache(args) -> int:
         f"{removed_topos} compiled topolog(y/ies), "
         f"{removed_replays} replay artifact(s)"
     )
+    return 0
+
+
+#: Where ``--metrics`` (bare, no PATH) writes its JSON snapshot, and
+#: where ``metrics dump`` / ``top`` look by default.
+DEFAULT_METRICS_PATH = "results/metrics.json"
+
+
+def _load_snapshot(path: str) -> Optional[dict]:
+    """Read + schema-check a snapshot file; None (with stderr) on error."""
+    import json
+
+    from repro.obs.metrics import validate_snapshot
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            snap = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics snapshot {path}: {exc}",
+              file=sys.stderr)
+        return None
+    problems = validate_snapshot(snap)
+    if problems:
+        for p in problems:
+            print(f"invalid snapshot {path}: {p}", file=sys.stderr)
+        return None
+    return snap
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs.metrics import render_prometheus
+
+    snap = _load_snapshot(args.snapshot)
+    if snap is None:
+        return 2
+    if args.format == "prometheus":
+        sys.stdout.write(render_prometheus(snap))
+    else:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from repro.obs.top import render_top
+
+    snap = _load_snapshot(args.snapshot)
+    if snap is None:
+        return 2
+    print(render_top(snap))
+    if not args.watch:
+        return 0
+    # Poll the snapshot file; redraw whenever it changes (a concurrent
+    # sweep with --metrics rewrites it on exit).
+    prev, prev_t = snap, _time.perf_counter()
+    try:
+        while True:
+            _time.sleep(args.watch)
+            snap = _load_snapshot(args.snapshot)
+            if snap is None or snap == prev:
+                continue
+            now = _time.perf_counter()
+            print()
+            print(render_top(snap, prev=prev, dt=now - prev_t))
+            prev, prev_t = snap, now
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_perf(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.perf import PerfError, check, record, show
+    from repro.analysis.perf import PROFILES as _PROFILES
+
+    ledger = Path(args.ledger)
+    try:
+        if args.perf_command == "record":
+            benches = [Path(b) for b in args.benches]
+            if not benches:
+                benches = [
+                    Path(prof["baseline"])
+                    for prof in _PROFILES.values()
+                    if Path(prof["baseline"]).exists()
+                ]
+                if not benches:
+                    print("error: no BENCH_*.json files found",
+                          file=sys.stderr)
+                    return 1
+            for bench in benches:
+                entry = record(bench, ledger, profile=args.profile)
+                print(
+                    f"recorded [{entry['profile']}] {bench} "
+                    f"({len(entry['cases'])} cases) -> {ledger}"
+                )
+            return 0
+        if args.perf_command == "show":
+            show(ledger)
+            return 0
+    except PerfError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    # check
+    candidates = {}
+    for pair in args.candidate:
+        profile, sep, path = pair.partition("=")
+        if not sep or not path:
+            print(f"--candidate wants PROFILE=PATH, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+        candidates[profile] = Path(path)
+    if not candidates:
+        print("error: check wants at least one --candidate PROFILE=PATH",
+              file=sys.stderr)
+        return 2
+    errors = check(
+        candidates, ledger, max_regression=args.max_regression
+    )
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    print(f"{len(candidates)} profile(s) within tolerance of the ledger")
     return 0
 
 
@@ -566,11 +707,21 @@ def _make_recorder(args):
     return JsonlRecorder(path)
 
 
-def _make_progress(args) -> Optional[SweepProgress]:
-    """Live progress line per ``--progress`` (auto: only on a TTY)."""
+def _make_progress(args):
+    """Live progress display per ``--progress`` (auto: only on a TTY).
+
+    ``top`` swaps the one-line tracker for the multi-line metrics
+    dashboard (:class:`~repro.obs.top.TopView`); it reads the global
+    registry, so it pairs with ``--metrics`` (without it the panel
+    shows zeros).
+    """
     mode = getattr(args, "progress", "off")
     if mode == "off":
         return None
+    if mode == "top":
+        from repro.obs.top import TopView
+
+        return TopView()
     if mode == "auto" and not sys.stderr.isatty():
         return None
     return SweepProgress()
@@ -886,6 +1037,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_replay_dir_flag(p_cache)
 
+    p_metrics = sub.add_parser(
+        "metrics", help="render a metrics snapshot file"
+    )
+    p_metrics.add_argument(
+        "action", choices=("dump",),
+        help="dump: print the snapshot in the chosen format",
+    )
+    p_metrics.add_argument(
+        "snapshot",
+        nargs="?",
+        default=DEFAULT_METRICS_PATH,
+        help="snapshot file written by --metrics "
+        "(default: %(default)s)",
+    )
+    p_metrics.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="output format (default: json)",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="metrics dashboard from a snapshot file"
+    )
+    p_top.add_argument(
+        "snapshot",
+        nargs="?",
+        default=DEFAULT_METRICS_PATH,
+        help="snapshot file written by --metrics "
+        "(default: %(default)s)",
+    )
+    p_top.add_argument(
+        "--watch",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="re-read the snapshot every SECONDS and redraw on change "
+        "(0 = render once and exit)",
+    )
+
+    p_perf = sub.add_parser(
+        "perf", help="append-only perf ledger over BENCH_*.json"
+    )
+    p_perf.add_argument(
+        "--ledger",
+        default="PERF_LEDGER.jsonl",
+        help="ledger path (default: %(default)s)",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_perf_rec = perf_sub.add_parser(
+        "record", help="append bench runs to the ledger"
+    )
+    p_perf_rec.add_argument(
+        "benches", nargs="*",
+        help="bench JSON files (default: every committed BENCH_*.json)",
+    )
+    p_perf_rec.add_argument(
+        "--profile", default=None,
+        help="force the profile (required for ambiguous schema-1 files)",
+    )
+    perf_sub.add_parser("show", help="print the per-profile history")
+    p_perf_chk = perf_sub.add_parser(
+        "check", help="unified regression gate against the ledger"
+    )
+    p_perf_chk.add_argument(
+        "--candidate", action="append", default=[],
+        metavar="PROFILE=PATH",
+        help="fresh bench output to gate (repeatable)",
+    )
+    p_perf_chk.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="tolerated fractional metric drop (default 0.30)",
+    )
+
     return parser
 
 
@@ -962,9 +1187,19 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--progress",
-        choices=("auto", "on", "off"),
+        choices=("auto", "on", "off", "top"),
         default="auto",
-        help="live progress line on stderr (auto: only on a TTY)",
+        help="live progress line on stderr (auto: only on a TTY; "
+        "top: the multi-line metrics dashboard, pair with --metrics)",
+    )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const=DEFAULT_METRICS_PATH,
+        default=None,
+        metavar="PATH",
+        help="enable the metrics registry and write its JSON snapshot "
+        f"on exit (default PATH: {DEFAULT_METRICS_PATH})",
     )
 
 
@@ -980,8 +1215,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "worstcase": _cmd_worstcase,
         "cache": _cmd_cache,
+        "metrics": _cmd_metrics,
+        "top": _cmd_top,
+        "perf": _cmd_perf,
     }
-    return handlers[args.command](args)
+    metrics_path = getattr(args, "metrics", None)
+    if not metrics_path:
+        return handlers[args.command](args)
+
+    # --metrics: install a live registry for the duration of the
+    # command, then persist its snapshot (even when the command fails —
+    # the partial snapshot is what you debug with).
+    import json
+    from pathlib import Path
+
+    from repro.obs.metrics import MetricsRegistry, set_global_registry
+
+    registry = MetricsRegistry()
+    previous = set_global_registry(registry)
+    try:
+        return handlers[args.command](args)
+    finally:
+        set_global_registry(previous)
+        out = Path(metrics_path)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"metrics snapshot: {out}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -10,7 +10,10 @@ such a file into the profile tables behind ``repro report --telemetry``:
 * a per-n cell summary (executed/cached/failed counts, duration
   quantiles) from terminal cell events;
 * a runtime outlier list — executed cells whose duration exceeds
-  ``outlier_factor`` x the median for their size.
+  ``outlier_factor`` x the median for their size;
+* an instrument summary from the last ``metrics_snapshot`` event, for
+  streams recorded with ``--metrics`` (counters/gauges/histograms from
+  :mod:`repro.obs.metrics`).
 """
 
 from __future__ import annotations
@@ -205,6 +208,64 @@ def schedule_check_table(
     return rows
 
 
+def metrics_snapshot_table(
+    events: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Instrument summary from the *last* ``metrics_snapshot`` event.
+
+    The executor emits one cumulative snapshot per sweep, so the last
+    one in the stream covers everything before it.  One row per
+    instrument family: counters sum their labeled series, gauges keep
+    the max, histograms report sample counts plus p50/p99 estimated
+    from their buckets.  Empty for streams recorded without
+    ``--metrics`` (or predating the metrics layer).
+    """
+    from repro.obs.metrics import histogram_quantile, parse_series_key
+
+    snap = None
+    for e in events:
+        if e.get("kind") == "metrics_snapshot":
+            snap = e
+    if snap is None:
+        return []
+    families: Dict[str, Dict[str, object]] = {}
+
+    def _fam(key: str, kind: str) -> Dict[str, object]:
+        name, _ = parse_series_key(key)
+        return families.setdefault(
+            name,
+            {"instrument": name, "type": kind, "series": 0,
+             "value": 0.0, "p50": "", "p99": ""},
+        )
+
+    for key, value in dict(snap.get("counters") or {}).items():
+        row = _fam(key, "counter")
+        row["series"] = int(row["series"]) + 1
+        row["value"] = float(row["value"]) + float(value)
+    for key, value in dict(snap.get("gauges") or {}).items():
+        row = _fam(key, "gauge")
+        row["series"] = int(row["series"]) + 1
+        row["value"] = max(float(row["value"]), float(value))
+    for key, h in dict(snap.get("histograms") or {}).items():
+        row = _fam(key, "histogram")
+        row["series"] = int(row["series"]) + 1
+        row["value"] = float(row["value"]) + float(h.get("count", 0))
+        if int(row["series"]) > 1:
+            # Quantiles of distinct label sets don't combine; the
+            # per-series view lives in `repro top`.
+            row["p50"] = row["p99"] = ""
+            continue
+        try:
+            row["p50"] = round(histogram_quantile(h, 0.50), 6)
+            row["p99"] = round(histogram_quantile(h, 0.99), 6)
+        except (KeyError, TypeError, ValueError):
+            pass
+    rows = [dict(families[name]) for name in sorted(families)]
+    for row in rows:
+        row["value"] = round(float(row["value"]), 6)
+    return rows
+
+
 def _executed_cells(
     events: Sequence[Dict[str, object]],
 ) -> List[Dict[str, object]]:
@@ -325,6 +386,14 @@ def render_telemetry_report(
         parts.append("")
         parts.append(
             render_table(check_rows, title="Schedule exploration")
+        )
+    metrics_rows = metrics_snapshot_table(events)
+    if metrics_rows:
+        parts.append("")
+        parts.append(
+            render_table(
+                metrics_rows, title="Metrics (last snapshot)"
+            )
         )
     outliers = runtime_outliers(events, factor=outlier_factor)
     parts.append("")

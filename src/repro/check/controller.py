@@ -752,17 +752,22 @@ def make_replay(
 
 def save_replay(replay: Dict[str, object], path) -> Path:
     """Write one replay artifact (pretty, key-sorted JSON)."""
+    from repro.obs.metrics import get_registry
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(replay, indent=2, sort_keys=True, default=repr) + "\n",
         encoding="utf-8",
     )
+    get_registry().counter("repro_replay_store_total", op="save").inc()
     return path
 
 
 def load_replay(path) -> Dict[str, object]:
     """Read a replay artifact back; delay keys return to ints."""
+    from repro.obs.metrics import get_registry
+
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     if data.get("kind") != REPLAY_KIND:
         raise SimulationError(f"{path} is not a {REPLAY_KIND} artifact")
@@ -772,4 +777,5 @@ def load_replay(path) -> Dict[str, object]:
         )
     data["delays"] = {int(k): float(v) for k, v in data["delays"].items()}
     data["choices"] = [int(c) for c in data["choices"]]
+    get_registry().counter("repro_replay_store_total", op="load").inc()
     return data

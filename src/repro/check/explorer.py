@@ -317,6 +317,24 @@ def explore(
                 done.append(ev)
     stats.states = len(states)
 
+    from repro.obs.metrics import get_registry
+
+    mreg = get_registry()
+    if mreg.enabled:
+        algo = algorithm_name or "?"
+        mreg.counter(
+            "repro_check_schedules_total", algorithm=algo
+        ).inc(stats.schedules)
+        mreg.counter(
+            "repro_check_states_total", algorithm=algo
+        ).inc(stats.states)
+        mreg.counter(
+            "repro_check_dedup_hits_total", algorithm=algo
+        ).inc(stats.pruned_state)
+        mreg.counter(
+            "repro_check_sleep_prunes_total", algorithm=algo
+        ).inc(stats.pruned_sleep)
+
     if rec.enabled:
         rec.emit(
             "check_stats",

@@ -209,6 +209,13 @@ def shrink_violation(
         initial_length=len(original),
         final_length=len(current),
     )
+    from repro.obs.metrics import get_registry
+
+    mreg = get_registry()
+    if mreg.enabled:
+        mreg.counter(
+            "repro_shrink_iterations_total", invariant=invariant_name
+        ).inc(outcome.tests)
     if rec.enabled:
         rec.emit(
             "shrink_stats",

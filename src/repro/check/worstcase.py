@@ -258,6 +258,15 @@ def worstcase_search(
         evaluations=evaluations,
         greedy_scores=greedy_scores,
     )
+    from repro.obs.metrics import get_registry
+
+    mreg = get_registry()
+    if mreg.enabled:
+        mreg.counter(
+            "repro_worstcase_evaluations_total",
+            algorithm=algorithm_name,
+            objective=objective,
+        ).inc(evaluations)
     if rec.enabled:
         rec.emit(
             "worstcase_stats",

@@ -56,6 +56,11 @@ from repro.graphs.compile import (
     compiled_topology,
     topology_key,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_global_registry,
+)
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.runner import WakeUpResult
 from repro.sim.trace import DEFAULT_FLIGHT_RECORDER, Trace
@@ -270,6 +275,7 @@ def run_cell(
     spec: CellSpec,
     cell_timeout: Optional[float] = None,
     topology_store: Optional[TopologyStore] = None,
+    collect_metrics: bool = False,
 ) -> Dict[str, Any]:
     """Worker entry point for one cell: never raises.
 
@@ -278,9 +284,24 @@ def run_cell(
     engine loop), so a slow cell costs its budget and nothing more.
     When the spec enables a flight recorder, every failure payload
     carries ``trace_tail`` — the last events before things went wrong.
+
+    ``collect_metrics`` swaps a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry` in as the process
+    global for the duration of the cell and ships its snapshot back as
+    ``payload["metrics_delta"]``, so parent-side aggregation is *exact*
+    under fork: everything the engines/stores counted during this cell
+    reaches the parent exactly once through the outcome path, whether
+    the cell ran inline or in a pooled worker.  It is deliberately a
+    function argument, not a :class:`CellSpec` field — metrics are
+    observability-only and must not perturb :func:`cell_key`.
     """
     start = time.perf_counter()
     scratch: Dict[str, Any] = {}
+    local_registry: Optional[MetricsRegistry] = None
+    prev_registry: Optional[MetricsRegistry] = None
+    if collect_metrics:
+        local_registry = MetricsRegistry()
+        prev_registry = set_global_registry(local_registry)
     use_alarm = (
         cell_timeout is not None
         and threading.current_thread() is threading.main_thread()
@@ -336,8 +357,14 @@ def run_cell(
     finally:
         if use_alarm:
             signal.signal(signal.SIGALRM, old_handler)
+        if local_registry is not None:
+            set_global_registry(prev_registry)
     if not payload.get("ok") and scratch.get("trace") is not None:
         payload["trace_tail"] = scratch["trace"].tail()
+    if local_registry is not None:
+        # Failure payloads keep their delta too — counters incremented
+        # before the failure are still real observations.
+        payload["metrics_delta"] = local_registry.snapshot()
     payload["duration"] = time.perf_counter() - start
     return payload
 
@@ -346,6 +373,7 @@ def _run_cell_batch(
     specs: List[CellSpec],
     cell_timeout: Optional[float],
     topology_store: Optional[TopologyStore] = None,
+    collect_metrics: bool = False,
 ) -> List[Dict[str, Any]]:
     """Chunked worker task: one IPC round trip for several cells.
 
@@ -354,7 +382,12 @@ def _run_cell_batch(
     when another worker, or a previous run, already wrote the
     artifact)."""
     return [
-        run_cell(spec, cell_timeout, topology_store=topology_store)
+        run_cell(
+            spec,
+            cell_timeout,
+            topology_store=topology_store,
+            collect_metrics=collect_metrics,
+        )
         for spec in specs
     ]
 
@@ -484,6 +517,16 @@ class ParallelSweepExecutor:
         workers)`` before the first cell, ``cell(outcome)`` per
         completion (cache hits included), ``finish(stats)`` at the
         end.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to aggregate
+        into; ``None`` (the default) resolves the process-global
+        registry at each :meth:`run` — still the zero-overhead
+        :data:`~repro.obs.metrics.NULL_REGISTRY` unless the caller
+        opted in (``repro ... --metrics``).  When enabled, cells
+        execute with ``collect_metrics=True`` and their per-cell
+        registry deltas merge here exactly once each; executor-level
+        instruments (cells, retries, cache fetches, durations) are
+        recorded parent-side against this same registry.
     """
 
     def __init__(
@@ -498,6 +541,7 @@ class ParallelSweepExecutor:
         progress: Optional[Any] = None,
         topology_dir: Union[str, Path] = DEFAULT_TOPOLOGY_DIR,
         use_topology_store: Optional[bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else workers
         self.cache_dir = Path(cache_dir)
@@ -507,6 +551,11 @@ class ParallelSweepExecutor:
         self.retries = retries
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.progress = progress
+        self.metrics = metrics
+        # Resolved per run(); parent-side instruments go through this
+        # direct reference, so the worker-side global-registry swap in
+        # run_cell (inline mode) can never double-count into it.
+        self._mreg: MetricsRegistry = get_registry()
         self.topology_dir = Path(topology_dir)
         if use_topology_store is None:
             use_topology_store = use_cache
@@ -526,6 +575,10 @@ class ParallelSweepExecutor:
         cells = list(cells)
         start = time.perf_counter()
         self.topo_stats = {"build": 0, "hit_mem": 0, "hit_disk": 0}
+        mreg = self._mreg = (
+            self.metrics if self.metrics is not None else get_registry()
+        )
+        collect = mreg.enabled
         if self.recorder.enabled:
             self.recorder.emit(
                 "sweep_start", cells=len(cells), workers=self.workers
@@ -544,6 +597,18 @@ class ParallelSweepExecutor:
                 self._publish(outcomes[idx])
             else:
                 misses.append((idx, spec, key))
+        if collect and self.use_cache:
+            # One fetch per cell: hits == stats["cached"],
+            # misses == stats["executed"], by construction.
+            mreg.counter(
+                "repro_cellcache_fetch_total", outcome="hit"
+            ).inc(len(cells) - len(misses))
+            mreg.counter(
+                "repro_cellcache_fetch_total", outcome="miss"
+            ).inc(len(misses))
+        if collect:
+            mreg.gauge("repro_executor_workers").set(self.workers)
+            mreg.gauge("repro_executor_cells_queued").set(len(misses))
 
         if misses:
             if self.workers <= 1:
@@ -552,15 +617,17 @@ class ParallelSweepExecutor:
                         spec,
                         self.cell_timeout,
                         topology_store=self._topology_store,
+                        collect_metrics=collect,
                     )
                     self._absorb_topology(payload)
+                    self._absorb_metrics(payload)
                     outcomes[idx] = _outcome_from_payload(
                         spec, key, payload, cached=False
                     )
                     self._maybe_cache(key, payload)
                     self._publish(outcomes[idx])
             else:
-                self._run_pool(misses, outcomes)
+                self._run_pool(misses, outcomes, collect)
 
         ordered = [outcomes[i] for i in range(len(cells))]
         self.stats = {
@@ -573,8 +640,20 @@ class ParallelSweepExecutor:
         }
         for k, v in self.topo_stats.items():
             self.stats[f"topology.{k}"] = v
+        if collect:
+            mreg.gauge("repro_executor_wall_seconds").set(
+                self.stats["wall_time"]
+            )
         if self.recorder.enabled:
             self.recorder.emit("topology_stats", **self.topo_stats)
+            if collect:
+                snap = mreg.snapshot()
+                self.recorder.emit(
+                    "metrics_snapshot",
+                    counters=snap["counters"],
+                    gauges=snap["gauges"],
+                    histograms=snap["histograms"],
+                )
             self.recorder.emit("sweep_end", **self.stats)
         if self.progress is not None:
             self.progress.finish(self.stats)
@@ -591,11 +670,43 @@ class ParallelSweepExecutor:
             for k, v in tstats.items():
                 self.topo_stats[k] = self.topo_stats.get(k, 0) + v
 
+    def _absorb_metrics(self, payload: Dict[str, Any]) -> None:
+        """Fold a worker's per-cell registry delta into the sweep
+        registry and strip it from the payload.  Same contract as
+        :meth:`_absorb_topology`: the delta describes *this* run's
+        execution, so a payload replayed from the cell cache must
+        contribute zero — popping before :meth:`_maybe_cache` writes
+        guarantees that."""
+        delta = payload.pop("metrics_delta", None)
+        if delta and self._mreg.enabled:
+            self._mreg.merge_snapshot(delta)
+
     def _publish(self, outcome: CellOutcome) -> None:
         """Emit one cell's full telemetry lifecycle and feed the
         progress renderer.  Called exactly once per cell, in the parent
         process, as the outcome lands (so event order within a cell is
         guaranteed even though cells complete out of order)."""
+        mreg = self._mreg
+        if mreg.enabled:
+            mreg.counter(
+                "repro_executor_cells_total",
+                status=outcome.status,
+                cached="yes" if outcome.cached else "no",
+            ).inc()
+            if not outcome.cached:
+                if outcome.duration > 0:
+                    mreg.histogram(
+                        "repro_executor_cell_seconds"
+                    ).observe(outcome.duration)
+                # Phase spans only for *executed* cells: a cache hit
+                # replays the original run's profile in telemetry, but
+                # this run did not spend that wall time.
+                if outcome.result is not None:
+                    profile = outcome.result.phase_profile()
+                    for name, prof in profile.items():
+                        mreg.histogram(
+                            "repro_phase_seconds", phase=name
+                        ).observe(prof["time_s"])
         rec = self.recorder
         if rec.enabled:
             spec = outcome.spec
@@ -648,6 +759,7 @@ class ParallelSweepExecutor:
         self,
         misses: List[Tuple[int, CellSpec, str]],
         outcomes: Dict[int, CellOutcome],
+        collect: bool = False,
     ) -> None:
         chunk = self.chunk_size or max(
             1, -(-len(misses) // (self.workers * 4))
@@ -667,6 +779,7 @@ class ParallelSweepExecutor:
                     [spec for _, spec, _ in batch],
                     self.cell_timeout,
                     self._topology_store,
+                    collect,
                 ): batch
                 for batch in batches
             }
@@ -683,18 +796,20 @@ class ParallelSweepExecutor:
                     continue
                 for (idx, spec, key), payload in zip(batch, payloads):
                     self._absorb_topology(payload)
+                    self._absorb_metrics(payload)
                     outcomes[idx] = _outcome_from_payload(
                         spec, key, payload, cached=False
                     )
                     self._maybe_cache(key, payload)
                     self._publish(outcomes[idx])
         if broke:
-            self._run_isolated(survivors, outcomes)
+            self._run_isolated(survivors, outcomes, collect)
 
     def _run_isolated(
         self,
         cells: List[Tuple[int, CellSpec, str]],
         outcomes: Dict[int, CellOutcome],
+        collect: bool = False,
     ) -> None:
         """Post-crash path: one fresh single-worker pool per cell, so a
         deterministically crashing cell cannot consume its neighbours'
@@ -704,10 +819,16 @@ class ParallelSweepExecutor:
             attempts = 0
             while True:
                 attempts += 1
-                if attempts > 1 and self.recorder.enabled:
-                    self.recorder.emit(
-                        "cell_retry", key=key, attempt=attempts, n=spec.n
-                    )
+                if attempts > 1:
+                    if self.recorder.enabled:
+                        self.recorder.emit(
+                            "cell_retry", key=key, attempt=attempts,
+                            n=spec.n,
+                        )
+                    if self._mreg.enabled:
+                        self._mreg.counter(
+                            "repro_executor_cell_retries_total"
+                        ).inc()
                 try:
                     with ProcessPoolExecutor(
                         max_workers=1, mp_context=ctx
@@ -717,6 +838,7 @@ class ParallelSweepExecutor:
                             spec,
                             self.cell_timeout,
                             self._topology_store,
+                            collect,
                         ).result()
                 except BrokenProcessPool:
                     if attempts <= self.retries:
@@ -734,6 +856,7 @@ class ParallelSweepExecutor:
                     self._publish(outcomes[idx])
                     break
                 self._absorb_topology(payload)
+                self._absorb_metrics(payload)
                 outcomes[idx] = _outcome_from_payload(
                     spec, key, payload, cached=False
                 )

@@ -50,6 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.traversal import awake_distance
+from repro.obs.metrics import get_registry as _get_registry
 
 #: On-disk artifact layout version; bump when the pickle body changes.
 STORE_VERSION = 1
@@ -367,6 +368,12 @@ def compiled_topology(
 
 
 def _bump(stats: Optional[Dict[str, int]], what: str) -> None:
+    """Single choke point for topology-fetch accounting: every build /
+    hit_mem / hit_disk resolution passes through here, so the per-dict
+    telemetry stats and the metrics counter agree exactly by
+    construction (no registry cost when metrics are disabled — the
+    null registry's counter() is a no-op)."""
+    _get_registry().counter("repro_topology_fetch_total", tier=what).inc()
     if stats is not None:
         stats[what] = stats.get(what, 0) + 1
 

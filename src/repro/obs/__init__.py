@@ -21,6 +21,12 @@ Three layers, cheap by default:
 cached counts, throughput, ETA, slowest-cell watchlist) from the
 per-cell callbacks of the parallel executor.
 
+:mod:`repro.obs.metrics` is the aggregation layer on top: a
+process-wide :class:`~repro.obs.metrics.MetricsRegistry` of labeled
+counters/gauges/fixed-bucket histograms with deterministic, mergeable
+snapshots, exported as Prometheus text, JSON (``repro metrics dump``),
+or the live ``repro top`` view (:mod:`repro.obs.top`).
+
 See ``docs/observability.md`` for the event schema and the phase-hook
 guide for algorithm authors.
 """
@@ -31,6 +37,14 @@ from repro.obs.events import (
     make_event,
     parse_line,
     validate_event,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    render_prometheus,
+    set_global_registry,
 )
 from repro.obs.phases import PhaseTracker
 from repro.obs.progress import SweepProgress
@@ -48,6 +62,12 @@ __all__ = [
     "make_event",
     "parse_line",
     "validate_event",
+    "NULL_REGISTRY",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "render_prometheus",
+    "set_global_registry",
     "PhaseTracker",
     "SweepProgress",
     "NULL_RECORDER",

@@ -36,6 +36,9 @@ Event kinds
                  (:func:`repro.check.explorer.explore` totals)
 ``worstcase_stats`` one worst-case schedule search finished
 ``shrink_stats`` one counterexample was minimized
+``metrics_snapshot`` a :class:`repro.obs.metrics.MetricsRegistry`
+                 snapshot (counters/gauges/histograms sections),
+                 emitted at sweep end when metrics are enabled
 ==============  ====================================================
 
 A cell reaches exactly one terminal event: ``cell_end`` (status
@@ -74,6 +77,7 @@ EVENT_KINDS: Dict[str, tuple] = {
                         "best_score", "policy"),
     "shrink_stats": ("invariant", "tests", "from_len", "to_len",
                      "reduction"),
+    "metrics_snapshot": ("counters", "gauges", "histograms"),
 }
 
 #: Statuses a ``cell_end`` event may carry.

@@ -19,6 +19,12 @@ import time
 from typing import Any, Dict, List, Optional, TextIO, Tuple
 
 
+#: Below this much elapsed wall-time a cells/s figure is meaningless
+#: (the first tick can land microseconds after ``start``, and dividing
+#: by a near-zero elapsed renders absurd rates like 1e9 cell/s).
+_MIN_RATE_ELAPSED = 1e-3
+
+
 def _fmt_eta(seconds: float) -> str:
     if seconds != seconds or seconds < 0 or seconds == float("inf"):
         return "?"
@@ -89,14 +95,18 @@ class SweepProgress:
 
     # -- rendering -------------------------------------------------------
     def render_line(self) -> str:
-        elapsed = max(1e-9, time.perf_counter() - self._t0)
-        rate = self._done / elapsed
-        remaining = self._total - self._done
-        eta = _fmt_eta(remaining / rate) if rate > 0 else "?"
+        elapsed = time.perf_counter() - self._t0
+        if self._done > 0 and elapsed >= _MIN_RATE_ELAPSED:
+            rate = self._done / elapsed
+            rate_str = f"{rate:.1f}"
+            eta = _fmt_eta((self._total - self._done) / rate)
+        else:
+            # First tick / nothing done yet: no meaningful rate.
+            rate_str, eta = "?", "?"
         line = (
             f"cells {self._done}/{self._total} "
             f"(ok {self._ok}, failed {self._failed}, "
-            f"cached {self._cached}) | {rate:.1f} cell/s | eta {eta}"
+            f"cached {self._cached}) | {rate_str} cell/s | eta {eta}"
         )
         if self._slowest:
             watch = ", ".join(

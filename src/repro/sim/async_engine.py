@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.models.knowledge import NetworkSetup
+from repro.obs.metrics import get_registry
 from repro.obs.phases import PhaseTracker
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
@@ -152,6 +153,17 @@ class AsyncEngine:
             return run_controlled(self)
         rec = self.recorder
         rec_enabled = rec.enabled  # fixed for the run; hoisted
+        mreg = get_registry()
+        # Heap-depth sampling shares the heartbeat cadence; the child
+        # observe is hoisted so the disabled path costs one `is None`
+        # check per event, same discipline as rec_enabled.
+        frontier_obs = (
+            mreg.histogram(
+                "repro_engine_frontier_size", engine="async"
+            ).observe
+            if mreg.enabled
+            else None
+        )
         heap = self._heap
         pop = heapq.heappop
         handle_wake = self._handle_wake
@@ -203,6 +215,8 @@ class AsyncEngine:
                         node.on_wake(ctx)
                     node.on_message(ctx, msg.dst_port, msg.payload)
                     flush(v, time)
+                if frontier_obs is not None and processed % _STEP_EVERY == 0:
+                    frontier_obs(len(heap))
                 if rec_enabled and processed % _STEP_EVERY == 0:
                     rec.emit(
                         "engine_step",
@@ -215,6 +229,17 @@ class AsyncEngine:
         finally:
             self.phases._stop()
         self.metrics.events_processed = processed
+        if mreg.enabled:
+            mreg.counter("repro_engine_runs_total", engine="async").inc()
+            mreg.counter(
+                "repro_engine_events_total", engine="async"
+            ).inc(processed)
+            mreg.counter(
+                "repro_engine_messages_total", engine="async"
+            ).inc(metrics.messages_total)
+            mreg.counter(
+                "repro_engine_bits_total", engine="async"
+            ).inc(metrics.bits_total)
         return self.metrics
 
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.models.knowledge import NetworkSetup
+from repro.obs.metrics import get_registry
 from repro.obs.phases import PhaseTracker
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
@@ -427,6 +428,16 @@ class BulkSyncEngine:
     def _run_rounds(self) -> Metrics:
         rec = self.recorder
         rec_enabled = rec.enabled
+        mreg = get_registry()
+        # Per-round frontier observation (this round's sent batch);
+        # hoisted, disabled path pays one `is None` check per round.
+        frontier_obs = (
+            mreg.histogram(
+                "repro_engine_frontier_size", engine="bulk"
+            ).observe
+            if mreg.enabled
+            else None
+        )
         metrics = self.metrics
         kernel = self.kernel
         awake = self.awake
@@ -480,6 +491,8 @@ class BulkSyncEngine:
                     metrics.max_message_bits = payload_bits
                 pending = recv_next
             self.round_messages.append(sent)
+            if frontier_obs is not None and sent:
+                frontier_obs(sent)
 
             self.rounds_executed = r + 1
             metrics.events_processed += 1
@@ -504,6 +517,17 @@ class BulkSyncEngine:
             ):
                 break
         self._finalize()
+        if mreg.enabled:
+            mreg.counter("repro_engine_runs_total", engine="bulk").inc()
+            mreg.counter(
+                "repro_engine_events_total", engine="bulk"
+            ).inc(metrics.events_processed)
+            mreg.counter(
+                "repro_engine_messages_total", engine="bulk"
+            ).inc(metrics.messages_total)
+            mreg.counter(
+                "repro_engine_bits_total", engine="bulk"
+            ).inc(metrics.bits_total)
         return metrics
 
     def _finalize(self) -> None:

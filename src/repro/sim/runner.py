@@ -13,6 +13,7 @@ from typing import Dict, Hashable, Optional
 
 from repro.errors import SimulationError, WakeUpFailure
 from repro.models.knowledge import NetworkSetup
+from repro.obs.metrics import get_registry
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
 from repro.sim.async_engine import AsyncEngine
@@ -324,6 +325,20 @@ def run_wakeup(
     asleep = frozenset(
         v for v in setup.graph.vertices() if v not in metrics.wake_time
     )
+    mreg = get_registry()
+    if mreg.enabled:
+        # Per-run, algorithm-labeled aggregates.  Names are distinct
+        # from the engine-level repro_engine_* instruments (those count
+        # totals per engine; these sample distributions per run) so
+        # nothing is double-counted.
+        labels = {"algorithm": algorithm.name, "engine": lane}
+        mreg.counter("repro_runs_total", **labels).inc()
+        mreg.histogram("repro_run_messages", **labels).observe(
+            metrics.messages_total
+        )
+        mreg.histogram("repro_run_time", **labels).observe(
+            time_complexity
+        )
     if rec.enabled:
         rec.emit(
             "run_end",

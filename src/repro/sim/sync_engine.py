@@ -28,6 +28,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.models.knowledge import NetworkSetup
+from repro.obs.metrics import get_registry
 from repro.obs.phases import PhaseTracker
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.adversary import Adversary
@@ -139,6 +140,17 @@ class SyncEngine:
     def _run_rounds(self) -> Metrics:
         rec = self.recorder
         rec_enabled = rec.enabled  # fixed for the run; hoisted
+        mreg = get_registry()
+        # Per-round frontier observation (messages in flight into the
+        # next round); hoisted so the disabled path costs one `is None`
+        # check per round.
+        frontier_obs = (
+            mreg.histogram(
+                "repro_engine_frontier_size", engine="sync"
+            ).observe
+            if mreg.enabled
+            else None
+        )
         in_flight: List[Message] = []
         r = 0
         last_wake_round = max(self._schedule) if self._schedule else 0
@@ -171,6 +183,8 @@ class SyncEngine:
 
             self.rounds_executed = r + 1
             self.metrics.events_processed += 1
+            if frontier_obs is not None and in_flight:
+                frontier_obs(len(in_flight))
             r += 1
             if rec_enabled and r % _STEP_EVERY_ROUNDS == 0:
                 rec.emit(
@@ -187,6 +201,18 @@ class SyncEngine:
             )
             if not in_flight and r > last_wake_round and not anyone_active:
                 break
+        if mreg.enabled:
+            metrics = self.metrics
+            mreg.counter("repro_engine_runs_total", engine="sync").inc()
+            mreg.counter(
+                "repro_engine_events_total", engine="sync"
+            ).inc(metrics.events_processed)
+            mreg.counter(
+                "repro_engine_messages_total", engine="sync"
+            ).inc(metrics.messages_total)
+            mreg.counter(
+                "repro_engine_bits_total", engine="sync"
+            ).inc(metrics.bits_total)
         return self.metrics
 
     # ------------------------------------------------------------------

@@ -145,3 +145,68 @@ class TestCheckCommands:
         assert code == 0
         assert "2 replay artifact(s)" in capsys.readouterr().out
         assert not list(tmp_path.glob("*.json"))
+
+
+class TestMetricsCommands:
+    def _sweep_with_metrics(self, tmp_path):
+        snap_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "sweep", "flooding", "--sizes", "16", "--trials", "1",
+                "--workers", "0", "--progress", "off",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--topology-dir", str(tmp_path / "topo"),
+                "--metrics", str(snap_path),
+            ]
+        )
+        assert code == 0
+        return snap_path
+
+    def test_metrics_flag_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        snap_path = self._sweep_with_metrics(tmp_path)
+        capsys.readouterr()
+        snap = json.loads(snap_path.read_text())
+        assert snap["counters"][
+            'repro_engine_runs_total{engine="async"}'
+        ] == 1
+        # and the global registry was restored to the null default
+        from repro.obs.metrics import NULL_REGISTRY, get_registry
+
+        assert get_registry() is NULL_REGISTRY
+
+    def test_metrics_dump_formats(self, capsys, tmp_path):
+        snap_path = self._sweep_with_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", "dump", str(snap_path)]) == 0
+        out = capsys.readouterr().out
+        assert '"counters"' in out
+        assert main(
+            ["metrics", "dump", str(snap_path), "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_runs_total counter" in out
+
+    def test_metrics_dump_missing_file_errors(self, capsys, tmp_path):
+        assert main(["metrics", "dump", str(tmp_path / "no.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_top_renders_snapshot(self, capsys, tmp_path):
+        snap_path = self._sweep_with_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(snap_path)]) == 0
+        out = capsys.readouterr().out
+        assert "executor   cells 1" in out
+        assert "engines    runs 1" in out
+
+    def test_progress_top_is_accepted(self, tmp_path):
+        code = main(
+            [
+                "sweep", "flooding", "--sizes", "16", "--trials", "1",
+                "--workers", "0", "--progress", "top", "--no-cache",
+                "--topology-dir", str(tmp_path / "topo"),
+                "--metrics", str(tmp_path / "m.json"),
+            ]
+        )
+        assert code == 0

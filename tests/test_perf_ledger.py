@@ -1,0 +1,348 @@
+"""Tests for the perf ledger (`repro.analysis.perf`) and its CLIs.
+
+The guarantees under test:
+
+* **envelopes** — schema-1 (legacy) and schema-2 bench payloads both
+  load; schema-2 declares its profile, schema-1 falls back to field
+  inference (ambiguous between ``engine`` and ``bulk``, which must be
+  passed explicitly); mismatched declarations are errors;
+* **ledger** — ``record`` appends one entry per bench ingest,
+  ``latest_per_profile`` returns append-order winners, and the file
+  stays valid JSONL;
+* **gate** — ``check`` compares candidates against the latest ledger
+  entry of their profile: within-tolerance and faster-than-ledger
+  runs pass, a >30% drop fails, asymmetric cases are notes, and a
+  profile without history demands seeding first;
+* **committed state** — the repository's ``PERF_LEDGER.jsonl`` is
+  seeded for all four profiles and the committed ``BENCH_*.json``
+  files pass the unified gate against it (the acceptance criterion
+  CI re-checks).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perf import (
+    BENCH_SCHEMAS,
+    PROFILES,
+    PerfError,
+    bench_to_entry,
+    case_key,
+    check,
+    geomean,
+    infer_profile,
+    latest_per_profile,
+    load_bench,
+    read_ledger,
+    record,
+    show,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LEDGER_SCRIPT = REPO_ROOT / "scripts" / "perf_ledger.py"
+
+
+def engine_payload(schema=2, rate=50_000.0, profile="engine"):
+    cases = [
+        {
+            "algorithm": "flooding", "engine": eng, "n": n,
+            "events": 1000, "messages": 900, "wall_s": 0.02,
+            "events_per_sec": rate,
+        }
+        for eng in ("async", "sync")
+        for n in (512, 2048)
+    ]
+    payload = {
+        "schema": schema,
+        "created": "2026-08-08T00:00:00",
+        "python": "3.12.0",
+        "cases": cases,
+    }
+    if schema >= 2:
+        payload["profile"] = profile
+    return payload
+
+
+def topology_payload(schema=1, speedup=40.0):
+    payload = {
+        "schema": schema,
+        "created": "2026-08-08T00:00:00",
+        "python": "3.12.0",
+        "cases": [
+            {
+                "workload": "er_spanner", "n": 512, "trials": 3,
+                "legacy_s": 1.0, "cold_s": 0.5, "warm_s": 0.01,
+                "warm_speedup": speedup,
+            }
+        ],
+    }
+    if schema >= 2:
+        payload["profile"] = "topology"
+    return payload
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+class TestEnvelopes:
+    def test_schema2_declares_profile(self, tmp_path):
+        path = write(tmp_path, "b.json", engine_payload())
+        profile, payload = load_bench(path)
+        assert profile == "engine"
+        assert payload["schema"] == 2
+
+    def test_schema1_engine_is_ambiguous(self, tmp_path):
+        payload = engine_payload(schema=1)
+        assert infer_profile(payload) is None  # engine vs bulk
+        path = write(tmp_path, "b.json", payload)
+        with pytest.raises(PerfError, match="cannot infer"):
+            load_bench(path)
+        profile, _ = load_bench(path, "bulk")  # explicit wins
+        assert profile == "bulk"
+
+    def test_schema1_topology_is_inferable(self, tmp_path):
+        path = write(tmp_path, "t.json", topology_payload(schema=1))
+        profile, _ = load_bench(path)
+        assert profile == "topology"
+
+    def test_declared_profile_mismatch_is_error(self, tmp_path):
+        path = write(tmp_path, "b.json", engine_payload())
+        with pytest.raises(PerfError, match="declares profile"):
+            load_bench(path, "check")
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        payload = engine_payload()
+        payload["schema"] = 99
+        path = write(tmp_path, "b.json", payload)
+        with pytest.raises(PerfError, match="unsupported bench schema"):
+            load_bench(path)
+        assert 99 not in BENCH_SCHEMAS
+
+    def test_missing_case_fields_rejected(self, tmp_path):
+        payload = engine_payload()
+        del payload["cases"][0]["events_per_sec"]
+        path = write(tmp_path, "b.json", payload)
+        with pytest.raises(PerfError, match="missing fields"):
+            load_bench(path)
+
+    def test_non_positive_metric_rejected(self, tmp_path):
+        path = write(tmp_path, "b.json", engine_payload(rate=0.0))
+        with pytest.raises(PerfError, match="non-positive"):
+            load_bench(path)
+
+    def test_case_key_joins_key_fields(self):
+        case = engine_payload()["cases"][0]
+        assert case_key(case, "engine") == "flooding/async/512"
+        topo = topology_payload()["cases"][0]
+        assert case_key(topo, "topology") == "er_spanner/512"
+
+
+class TestLedger:
+    def test_record_appends_entries(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        bench = write(tmp_path, "b.json", engine_payload())
+        entry = record(bench, ledger)
+        assert entry["profile"] == "engine"
+        assert entry["metric"] == "events_per_sec"
+        assert len(entry["cases"]) == 4
+        record(
+            write(tmp_path, "t.json", topology_payload(schema=2)),
+            ledger,
+        )
+        entries = read_ledger(ledger)
+        assert [e["profile"] for e in entries] == ["engine", "topology"]
+        assert all("recorded" in e for e in entries)
+
+    def test_latest_per_profile_keeps_append_order_winner(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        record(write(tmp_path, "a.json", engine_payload(rate=100.0)),
+               ledger)
+        record(write(tmp_path, "b.json", engine_payload(rate=200.0)),
+               ledger)
+        latest = latest_per_profile(read_ledger(ledger))
+        assert set(latest) == {"engine"}
+        assert set(latest["engine"]["cases"].values()) == {200.0}
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        assert read_ledger(tmp_path / "nope.jsonl") == []
+
+    def test_malformed_ledger_line_is_error(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text("{not json}\n")
+        with pytest.raises(PerfError, match="bad ledger line"):
+            read_ledger(ledger)
+
+    def test_show_prints_history_with_geomean(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        record(write(tmp_path, "a.json", engine_payload(rate=100.0)),
+               ledger)
+        record(write(tmp_path, "b.json", engine_payload(rate=200.0)),
+               ledger)
+        buf = io.StringIO()
+        grouped = show(ledger, stream=buf)
+        out = buf.getvalue()
+        assert "[engine] 2 entries" in out
+        assert "+100.0%" in out  # geomean delta between the entries
+        assert len(grouped["engine"]) == 2
+        assert geomean([100.0, 400.0]) == pytest.approx(200.0)
+
+    def test_bench_to_entry_carries_source_metadata(self):
+        entry = bench_to_entry("engine", engine_payload(), source="x.json")
+        assert entry["source"] == "x.json"
+        assert entry["unit"] == "events/s"
+        assert entry["created"] == "2026-08-08T00:00:00"
+
+
+class TestGate:
+    def _seeded(self, tmp_path, rate=100.0):
+        ledger = tmp_path / "ledger.jsonl"
+        record(write(tmp_path, "seed.json", engine_payload(rate=rate)),
+               ledger)
+        return ledger
+
+    def test_within_tolerance_passes(self, tmp_path):
+        ledger = self._seeded(tmp_path)
+        cand = write(tmp_path, "cand.json", engine_payload(rate=80.0))
+        assert check({"engine": cand}, ledger, stream=io.StringIO()) == []
+
+    def test_faster_never_fails(self, tmp_path):
+        ledger = self._seeded(tmp_path)
+        cand = write(tmp_path, "cand.json", engine_payload(rate=900.0))
+        assert check({"engine": cand}, ledger, stream=io.StringIO()) == []
+
+    def test_regression_fails(self, tmp_path):
+        ledger = self._seeded(tmp_path)
+        cand = write(tmp_path, "cand.json", engine_payload(rate=50.0))
+        errors = check({"engine": cand}, ledger, stream=io.StringIO())
+        assert len(errors) == 4  # every case dropped to 0.5x
+        assert all("REGRESSION" not in e and "below ledger" in e
+                   for e in errors)
+
+    def test_tighter_tolerance_is_respected(self, tmp_path):
+        ledger = self._seeded(tmp_path)
+        cand = write(tmp_path, "cand.json", engine_payload(rate=90.0))
+        assert check({"engine": cand}, ledger,
+                     max_regression=0.05, stream=io.StringIO())
+
+    def test_unseeded_profile_is_error(self, tmp_path):
+        ledger = self._seeded(tmp_path)
+        cand = write(tmp_path, "t.json", topology_payload(schema=2))
+        errors = check({"topology": cand}, ledger, stream=io.StringIO())
+        assert any("no ledger history" in e for e in errors)
+
+    def test_asymmetric_cases_are_notes_not_errors(self, tmp_path):
+        ledger = self._seeded(tmp_path)
+        payload = engine_payload(rate=100.0)
+        payload["cases"] = payload["cases"][:2]
+        cand = write(tmp_path, "cand.json", payload)
+        buf = io.StringIO()
+        assert check({"engine": cand}, ledger, stream=buf) == []
+        assert "only in ledger" in buf.getvalue()
+
+    def test_unknown_profile_is_error(self, tmp_path):
+        ledger = self._seeded(tmp_path)
+        cand = write(tmp_path, "cand.json", engine_payload())
+        errors = check({"warp": cand}, ledger, stream=io.StringIO())
+        assert any("unknown profile" in e for e in errors)
+
+
+class TestCommittedState:
+    """The repository's own ledger and BENCH files stay consistent."""
+
+    def test_ledger_is_seeded_for_all_profiles(self):
+        entries = read_ledger(REPO_ROOT / "PERF_LEDGER.jsonl")
+        assert set(latest_per_profile(entries)) == set(PROFILES)
+
+    def test_committed_benches_pass_the_unified_gate(self):
+        candidates = {
+            name: REPO_ROOT / prof["baseline"]
+            for name, prof in PROFILES.items()
+        }
+        errors = check(
+            candidates,
+            REPO_ROOT / "PERF_LEDGER.jsonl",
+            stream=io.StringIO(),
+        )
+        assert errors == []
+
+    def test_committed_benches_use_the_v2_envelope(self):
+        for name, prof in PROFILES.items():
+            payload = json.loads(
+                (REPO_ROOT / prof["baseline"]).read_text()
+            )
+            assert payload["schema"] == 2
+            assert payload["profile"] == name
+            for key in ("created", "python", "cases"):
+                assert key in payload
+
+
+class TestLedgerScript:
+    """scripts/perf_ledger.py and `repro perf` front the same module."""
+
+    def _run(self, *argv, cwd=None):
+        return subprocess.run(
+            [sys.executable, str(LEDGER_SCRIPT), *argv],
+            capture_output=True, text=True, cwd=cwd,
+        )
+
+    def test_record_show_check_round_trip(self, tmp_path):
+        bench = write(tmp_path, "b.json", engine_payload())
+        ledger = tmp_path / "ledger.jsonl"
+        res = self._run("--ledger", str(ledger), "record", str(bench))
+        assert res.returncode == 0, res.stderr
+        assert "recorded [engine]" in res.stdout
+        res = self._run("--ledger", str(ledger), "show")
+        assert res.returncode == 0
+        assert "[engine]" in res.stdout
+        res = self._run(
+            "--ledger", str(ledger), "check",
+            "--candidate", f"engine={bench}",
+        )
+        assert res.returncode == 0, res.stderr
+        assert "within tolerance" in res.stdout
+
+    def test_check_fails_on_regression(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        fast = write(tmp_path, "fast.json", engine_payload(rate=100.0))
+        slow = write(tmp_path, "slow.json", engine_payload(rate=10.0))
+        assert self._run(
+            "--ledger", str(ledger), "record", str(fast)
+        ).returncode == 0
+        res = self._run(
+            "--ledger", str(ledger), "check",
+            "--candidate", f"engine={slow}",
+        )
+        assert res.returncode == 1
+        assert "below ledger" in res.stderr
+
+    def test_repro_perf_cli_matches(self, tmp_path):
+        bench = write(tmp_path, "b.json", engine_payload())
+        ledger = tmp_path / "ledger.jsonl"
+        env_path = str(REPO_ROOT / "src")
+        res = subprocess.run(
+            [sys.executable, "-m", "repro", "perf",
+             "--ledger", str(ledger), "record", str(bench)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        )
+        assert res.returncode == 0, res.stderr
+        assert "recorded [engine]" in res.stdout
+        res = subprocess.run(
+            [sys.executable, "-m", "repro", "perf",
+             "--ledger", str(ledger), "check",
+             "--candidate", f"engine={bench}"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        )
+        assert res.returncode == 0, res.stderr
+        assert "within tolerance" in res.stdout

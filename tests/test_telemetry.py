@@ -90,6 +90,16 @@ SAMPLE_FIELDS = {
                         "policy": "feed-awake"},
     "shrink_stats": {"invariant": "fifo-per-channel", "tests": 37,
                      "from_len": 12, "to_len": 2, "reduction": 10},
+    "metrics_snapshot": {
+        "counters": {'repro_runs_total{algorithm="flooding"}': 2},
+        "gauges": {"repro_executor_workers": 2},
+        "histograms": {
+            "repro_run_messages": {
+                "le": [1.0, 2.0], "counts": [1, 0, 1],
+                "sum": 65.0, "count": 2,
+            }
+        },
+    },
 }
 
 
@@ -404,6 +414,26 @@ class TestExecutorTelemetry:
         assert line.startswith("cells 2/2 (ok 2, failed 0, cached 0)")
         assert "slowest: n=" in line
         assert buf.getvalue()  # something was rendered
+
+    def test_progress_first_tick_has_no_rate(self):
+        # Regression: render_line used to divide by a near-zero elapsed
+        # on the first tick, printing absurd rates (1e9 cell/s) and an
+        # eta of 0s.  With nothing done — or with a tick landing inside
+        # the clamp window — both render as "?".
+        import time
+
+        buf = io.StringIO()
+        progress = SweepProgress(stream=buf, non_tty_interval=0.0)
+        progress.start(total=5, workers=2)
+        line = progress.render_line()
+        assert "? cell/s" in line
+        assert "eta ?" in line
+        # A cell completing within the clamp window still has no rate.
+        progress._done = 1
+        progress._t0 = time.perf_counter()
+        line = progress.render_line()
+        assert "? cell/s" in line
+        assert "eta ?" in line
 
 
 class TestFaultInjectionTelemetry:
@@ -734,3 +764,54 @@ class TestScheduleCheckSection:
         from repro.analysis.telemetry import schedule_check_table
 
         assert schedule_check_table([{"kind": "run_start"}]) == []
+
+
+class TestMetricsSnapshotSection:
+    """The 'Metrics (last snapshot)' table in ``repro report``."""
+
+    def _snapshot_event(self, runs=2):
+        from repro.obs.events import make_event
+
+        return make_event(
+            "metrics_snapshot",
+            counters={'repro_runs_total{algorithm="flooding"}': runs},
+            gauges={"repro_executor_workers": 2},
+            histograms={
+                "repro_run_messages": {
+                    "le": [10.0, 100.0],
+                    "counts": [1, 1, 0],
+                    "sum": 58.0,
+                    "count": 2,
+                }
+            },
+        )
+
+    def test_rows_summarize_last_snapshot(self):
+        from repro.analysis.telemetry import metrics_snapshot_table
+
+        rows = metrics_snapshot_table(
+            [self._snapshot_event(runs=1), self._snapshot_event(runs=5)]
+        )
+        by_name = {r["instrument"]: r for r in rows}
+        # the *last* snapshot wins
+        assert by_name["repro_runs_total"]["value"] == 5
+        assert by_name["repro_executor_workers"]["type"] == "gauge"
+        hist = by_name["repro_run_messages"]
+        assert hist["value"] == 2  # observation count
+        assert hist["p50"] != ""  # single-series family gets quantiles
+
+    def test_report_renders_metrics_section(self, tmp_path):
+        import json
+
+        from repro.analysis.telemetry import render_telemetry_report
+
+        stream = tmp_path / "t.jsonl"
+        stream.write_text(json.dumps(self._snapshot_event()) + "\n")
+        out = render_telemetry_report(stream)
+        assert "Metrics (last snapshot)" in out
+        assert "repro_runs_total" in out
+
+    def test_streams_without_snapshots_stay_empty(self):
+        from repro.analysis.telemetry import metrics_snapshot_table
+
+        assert metrics_snapshot_table([{"kind": "run_start"}]) == []
