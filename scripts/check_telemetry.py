@@ -5,15 +5,26 @@ Checks, in order:
 
 1. every line parses as a JSON object and passes
    :func:`repro.obs.events.validate_event` (schema version, required
-   fields, cell_end statuses);
-2. cell lifecycle: every ``cell_start`` reaches exactly one terminal
-   event (``cell_end`` or ``cell_timeout``) for the same key, and no
-   terminal event appears without its ``cell_start``;
-3. every *executed* ok cell (``cell_end`` with ``status=ok`` and
+   fields, cell_end statuses).  Exception: a contiguous run of
+   malformed lines at the very *end* of the stream is skipped and
+   counted, not flagged — a producer killed mid-write (routine once
+   the serve daemon exists) leaves exactly that torn tail.  Malformed
+   lines *followed by* valid ones are still violations;
+2. cell lifecycle: every cell key reaches exactly as many terminal
+   events (``cell_end`` or ``cell_timeout``) as it has ``cell_start``
+   events, and no terminal event appears without a ``cell_start``.
+   Count-matching (rather than exactly-one) is what a daemon stream
+   needs: the same cell key legitimately recurs once per job that
+   touches it;
+3. job lifecycle (daemon streams): per job id, ``job_start`` events
+   never exceed ``job_queued`` and ``job_end`` never exceeds
+   ``job_start`` — incomplete lifecycles are fine (it is a
+   flight-recorder format), inverted ones are not;
+4. every *executed* ok cell (``cell_end`` with ``status=ok`` and
    ``cached=false``) has at least one ``phase_end`` event for its key
    — the profiling guarantee the engines' implicit "engine" phase
    provides;
-4. every ``metrics_snapshot`` event carries a schema-valid registry
+5. every ``metrics_snapshot`` event carries a schema-valid registry
    snapshot (sections present, non-negative counters, histogram bucket
    sanity via :func:`repro.obs.metrics.validate_snapshot`), and
    counters are monotone non-decreasing across successive snapshots —
@@ -91,20 +102,38 @@ def check_stream(lines, min_cells: int = 0, expect_topology_builds=None):
     """Return (errors, summary) for an iterable of JSONL lines."""
     errors: List[str] = []
     events: List[Dict[str, object]] = []
-    for lineno, line in enumerate(lines, 1):
-        if not line.strip():
-            continue
+    # Parse in two passes over the buffered lines so malformed lines at
+    # the *tail* (a writer killed mid-record — normal daemon debris)
+    # can be told apart from corruption in the middle of the stream.
+    numbered = [
+        (lineno, line)
+        for lineno, line in enumerate(lines, 1)
+        if line.strip()
+    ]
+    parsed: List[tuple] = []  # (lineno, event-or-None, error-or-None)
+    last_good = -1
+    for i, (lineno, line) in enumerate(numbered):
         try:
             event = parse_line(line)
         except ValueError as exc:
-            errors.append(f"line {lineno}: unparseable ({exc})")
+            parsed.append((lineno, None, f"unparseable ({exc})"))
             continue
-        for problem in validate_event(event):
-            errors.append(f"line {lineno}: {problem}")
+        parsed.append((lineno, event, None))
+        last_good = i
+    skipped_tail = 0
+    for i, (lineno, event, problem) in enumerate(parsed):
+        if event is None:
+            if i > last_good:
+                skipped_tail += 1  # torn tail: tolerated, counted
+            else:
+                errors.append(f"line {lineno}: {problem}")
+            continue
+        for violation in validate_event(event):
+            errors.append(f"line {lineno}: {violation}")
         events.append(event)
 
     census = Counter(str(e.get("kind")) for e in events)
-    started: Dict[str, int] = {}
+    started: Counter = Counter()
     terminal: Counter = Counter()
     executed_ok: List[str] = []
     phase_keys = {
@@ -112,10 +141,10 @@ def check_stream(lines, min_cells: int = 0, expect_topology_builds=None):
         for e in events
         if e.get("kind") == "phase_end" and "key" in e
     }
-    for lineno_key, e in enumerate(events):
+    for e in events:
         kind = e.get("kind")
         if kind == "cell_start":
-            started[str(e.get("key"))] = lineno_key
+            started[str(e.get("key"))] += 1
         elif kind in TERMINAL_CELL_KINDS:
             key = str(e.get("key"))
             terminal[key] += 1
@@ -129,17 +158,19 @@ def check_stream(lines, min_cells: int = 0, expect_topology_builds=None):
                 and not e.get("cached")
             ):
                 executed_ok.append(key)
-    for key in started:
+    for key, starts in started.items():
         count = terminal[key]
-        if count != 1:
+        if count != starts:
             errors.append(
-                f"cell {key[:12]} has {count} terminal events (want 1)"
+                f"cell {key[:12]} has {count} terminal events "
+                f"(want {starts}, one per cell_start)"
             )
     for key in executed_ok:
         if key not in phase_keys:
             errors.append(
                 f"executed cell {key[:12]} has no phase_end event"
             )
+    errors.extend(check_job_lifecycle(events))
     if len(started) < min_cells:
         errors.append(
             f"only {len(started)} cell_start events (require >= {min_cells})"
@@ -169,8 +200,42 @@ def check_stream(lines, min_cells: int = 0, expect_topology_builds=None):
         "terminal": sum(terminal.values()),
         "census": dict(sorted(census.items())),
         "topology": topo,
+        "skipped_tail": skipped_tail,
     }
     return errors, summary
+
+
+def check_job_lifecycle(events) -> List[str]:
+    """Ordering violations in the serve daemon's ``job_*`` events.
+
+    Per job id the counts must nest: ``job_end <= job_start <=
+    job_queued``.  Truncated lifecycles (queued but never started,
+    started but no end yet) are legitimate — the stream is a flight
+    recorder, and a killed daemon leaves exactly that."""
+    errors: List[str] = []
+    queued: Counter = Counter()
+    started: Counter = Counter()
+    ended: Counter = Counter()
+    for e in events:
+        kind = e.get("kind")
+        if kind == "job_queued":
+            queued[str(e.get("job"))] += 1
+        elif kind == "job_start":
+            started[str(e.get("job"))] += 1
+        elif kind == "job_end":
+            ended[str(e.get("job"))] += 1
+    for jid in set(queued) | set(started) | set(ended):
+        if started[jid] > queued[jid]:
+            errors.append(
+                f"job {jid}: {started[jid]} job_start events but only "
+                f"{queued[jid]} job_queued"
+            )
+        if ended[jid] > started[jid]:
+            errors.append(
+                f"job {jid}: {ended[jid]} job_end events but only "
+                f"{started[jid]} job_start"
+            )
+    return errors
 
 
 def main(argv=None) -> int:
@@ -196,7 +261,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        with open(args.path, "r", encoding="utf-8") as fh:
+        # errors="replace": a tail torn inside a multi-byte sequence
+        # must degrade into a skipped line, not a UnicodeDecodeError.
+        with open(
+            args.path, "r", encoding="utf-8", errors="replace"
+        ) as fh:
             errors, summary = check_stream(
                 fh,
                 min_cells=args.min_cells,
@@ -208,9 +277,14 @@ def main(argv=None) -> int:
     for err in errors:
         print(f"error: {err}", file=sys.stderr)
     census = " ".join(f"{k}={v}" for k, v in summary["census"].items())
+    tail = (
+        f", skipped {summary['skipped_tail']} torn tail line(s)"
+        if summary["skipped_tail"]
+        else ""
+    )
     print(
         f"{args.path}: {summary['events']} events, "
-        f"{summary['cells']} cells ({census or 'empty'})"
+        f"{summary['cells']} cells ({census or 'empty'}){tail}"
     )
     if errors:
         print(f"{len(errors)} violation(s)", file=sys.stderr)

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Load harness for the serve daemon: hundreds of concurrent jobs.
+
+Fires ``--jobs`` submissions (default 200) from ``--clients`` parallel
+client threads against one daemon.  The job mix cycles through a small
+pool of ``--distinct`` sweep specs, so most submissions duplicate an
+in-flight or completed job — exactly the workload the daemon's dedup
+and warm-cache paths exist for.  Each client watches its job to the
+final summary line and records the end-to-end latency.
+
+Reported at the end (and checked, exit 1 on violation):
+
+* every job must reach a terminal ``done`` state (no rejections — the
+  mix is sized under the admission limits; no failures);
+* **dedup rate** — jobs attached to an existing execution / total;
+* **warm-cell hit-rate** — cached / (cached + executed) summed over
+  the distinct executions' executor stats;
+* **latency** — p50 / p99 / max seconds from submit to final line.
+
+With ``--spawn`` the harness starts its own daemon on a private socket
+(and tmp caches) and shuts it down afterwards, so one command is a
+self-contained smoke: ``python scripts/load_serve.py --spawn``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient, ServeError  # noqa: E402
+
+
+def build_mix(distinct: int):
+    """A pool of distinct sweep specs, all tiny and admission-sized."""
+    sizes_options = ([10], [12], [10, 14], [12, 16])
+    return [
+        {
+            "kind": "sweep",
+            "algorithm": "flooding",
+            "sizes": sizes_options[i % len(sizes_options)],
+            "trials": 1,
+            "seed": i // len(sizes_options),
+            "degree": 3.0,
+        }
+        for i in range(distinct)
+    ]
+
+
+def percentile(sorted_vals, q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(
+        len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1)))
+    )
+    return sorted_vals[idx]
+
+
+def run_load(socket_path: str, jobs: int, clients: int, distinct: int,
+             timeout: float):
+    mix = build_mix(distinct)
+    specs = [mix[i % len(mix)] for i in range(jobs)]
+    results = [None] * jobs
+    latencies = [0.0] * jobs
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker():
+        client = ServeClient(socket_path, timeout=timeout)
+        while True:
+            with lock:
+                i = cursor["next"]
+                if i >= jobs:
+                    return
+                cursor["next"] = i + 1
+            start = time.perf_counter()
+            try:
+                final, _events = client.run_job(specs[i])
+            except ServeError as exc:
+                final = {"ok": False, "error": str(exc)}
+            latencies[i] = time.perf_counter() - start
+            results[i] = final
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(clients)
+    ]
+    wall = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout + 60.0)
+    wall = time.perf_counter() - wall
+    return results, latencies, wall
+
+
+def summarize(results, latencies, wall, jobs):
+    errors = []
+    done = {}
+    bad = []
+    for final in results:
+        if final is None:
+            bad.append("client thread never finished")
+            continue
+        job = final.get("job")
+        if not isinstance(job, dict):
+            bad.append(f"no summary: {final}")
+            continue
+        if job.get("state") != "done":
+            bad.append(f"{job.get('id')}: {job.get('state')} "
+                       f"({job.get('error')})")
+            continue
+        done[job["id"]] = job
+    if bad:
+        errors.append(f"{len(bad)} job(s) did not complete cleanly")
+        for line in bad[:10]:
+            errors.append(f"  {line}")
+
+    executed = cached = 0
+    for job in done.values():
+        stats = (job.get("result") or {}).get("stats") or {}
+        executed += int(stats.get("executed", 0))
+        cached += int(stats.get("cached", 0))
+    total_cells = executed + cached
+    hit_rate = cached / total_cells if total_cells else 0.0
+    dedup_rate = (jobs - len(done)) / jobs if jobs else 0.0
+
+    lat = sorted(latencies)
+    p50 = percentile(lat, 0.50)
+    p99 = percentile(lat, 0.99)
+
+    print(f"jobs:        {jobs} submitted, {len(done)} distinct "
+          f"executions, {jobs - len(done)} deduped "
+          f"({100 * dedup_rate:.1f}%)")
+    print(f"cells:       {executed} executed, {cached} cached "
+          f"(warm hit-rate {100 * hit_rate:.1f}%)")
+    print(f"latency:     p50 {p50 * 1000:.1f} ms, "
+          f"p99 {p99 * 1000:.1f} ms, max {lat[-1] * 1000:.1f} ms")
+    print(f"wall:        {wall:.2f}s "
+          f"({jobs / wall:.1f} jobs/s end-to-end)")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrent-job load harness for `repro serve`."
+    )
+    parser.add_argument(
+        "--socket", default="results/serve.sock",
+        help="daemon socket (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=200,
+        help="total submissions (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=32,
+        help="concurrent client threads (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--distinct", type=int, default=20,
+        help="distinct job specs in the mix (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-client socket timeout (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--spawn", action="store_true",
+        help="start (and stop) a private daemon for the run",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="with --spawn: daemon JSONL event log "
+        "(validate with scripts/check_telemetry.py)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="with --spawn: daemon metrics snapshot on exit "
+        "(validate with scripts/check_metrics.py)",
+    )
+    args = parser.parse_args(argv)
+
+    proc = None
+    tmpdir = None
+    socket_path = args.socket
+    if args.spawn:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-load-")
+        socket_path = str(Path(tmpdir.name) / "serve.sock")
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path,
+            "--cache-dir", str(Path(tmpdir.name) / "cache"),
+            "--topology-dir", str(Path(tmpdir.name) / "topo"),
+            "--progress", "off",
+        ]
+        if args.telemetry:
+            cmd += ["--telemetry", args.telemetry]
+        if args.metrics:
+            cmd += ["--metrics", args.metrics]
+        proc = subprocess.Popen(
+            cmd,
+            cwd=str(REPO_ROOT),
+            env={**__import__("os").environ,
+                 "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+
+    client = ServeClient(socket_path, timeout=args.timeout)
+    try:
+        if not client.wait_ready(30.0):
+            print(f"error: no daemon at {socket_path}", file=sys.stderr)
+            return 1
+        results, latencies, wall = run_load(
+            socket_path, args.jobs, args.clients, args.distinct,
+            args.timeout,
+        )
+        errors = summarize(results, latencies, wall, args.jobs)
+        try:
+            stats = client.stats()
+            depth = stats.get("queue_depth")
+            print(f"daemon:      queue_depth={depth}, "
+                  f"jobs_by_state={json.dumps(stats.get('jobs_by_state'))}")
+            if depth:
+                errors.append(
+                    f"queue depth {depth} after drain (want 0)"
+                )
+        except ServeError as exc:
+            errors.append(f"daemon unreachable after load: {exc}")
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 1 if errors else 0
+    finally:
+        if proc is not None:
+            try:
+                client.shutdown()
+                proc.wait(timeout=30.0)
+            except (ServeError, subprocess.TimeoutExpired):
+                proc.kill()
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

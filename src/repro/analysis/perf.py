@@ -330,8 +330,11 @@ def check(
     latest ledger entry for its profile.  Returns the list of errors
     (empty = gate passes).  Candidate cases absent from the ledger (or
     vice versa) are reported but not fatal, matching the historical
-    baseline-checker semantics; a profile with *no* ledger history is
-    an error — seed the ledger first (``repro perf record``).
+    baseline-checker semantics.  A profile with *no* ledger history is
+    **seeded** from the candidate and reported as "seeded, no
+    baseline" — not failed: the first bench of a brand-new profile
+    (e.g. a future ``serve`` profile) must be able to pass CI, and the
+    appended entry becomes the baseline the next run gates against.
     """
     out = stream if stream is not None else sys.stdout
     errors: List[str] = []
@@ -351,9 +354,13 @@ def check(
             continue
         entry = latest.get(profile)
         if entry is None:
-            errors.append(
-                f"{profile}: no ledger history in {ledger_path}; "
-                "seed it with 'repro perf record'"
+            seeded = bench_to_entry(profile, payload, source=str(path))
+            append_entry(Path(ledger_path), seeded)
+            print(
+                f"[{profile}] seeded, no baseline: recorded "
+                f"{len(seeded.get('cases', {}))} case(s) into "
+                f"{ledger_path}; the next check gates against them",
+                file=out,
             )
             continue
         unit = PROFILES[profile]["unit"]

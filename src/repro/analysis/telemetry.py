@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import statistics
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, TextIO, Union
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.analysis.report import render_table
 from repro.obs.events import (
@@ -34,20 +34,27 @@ from repro.obs.events import (
 DEFAULT_OUTLIER_FACTOR = 4.0
 
 
-def load_events(
+def read_events(
     source: Union[str, Path, TextIO],
     strict: bool = False,
-) -> List[Dict[str, object]]:
-    """Parse a telemetry JSONL file into a list of event dicts.
+) -> Tuple[List[Dict[str, object]], int]:
+    """Parse a telemetry JSONL file into ``(events, skipped)``.
 
-    Malformed or schema-invalid lines raise :class:`ValueError` when
-    ``strict``; otherwise they are skipped (a crashed run can leave a
-    torn final line — the report should still render).
+    ``skipped`` counts malformed or schema-invalid lines.  A producer
+    killed mid-write (the daemon makes this routine — SIGKILLed jobs,
+    full disks, client disconnects) leaves a torn final line, so the
+    default mode skips and *counts* bad lines instead of failing; the
+    file is opened with ``errors="replace"`` so even a line torn inside
+    a multi-byte sequence cannot raise ``UnicodeDecodeError``.  With
+    ``strict`` the first bad line raises :class:`ValueError`.
     """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as fh:
-            return load_events(fh, strict=strict)
+        with open(
+            source, "r", encoding="utf-8", errors="replace"
+        ) as fh:
+            return read_events(fh, strict=strict)
     events: List[Dict[str, object]] = []
+    skipped = 0
     for lineno, line in enumerate(source, 1):
         if not line.strip():
             continue
@@ -56,14 +63,25 @@ def load_events(
         except ValueError as exc:
             if strict:
                 raise ValueError(f"line {lineno}: {exc}") from exc
+            skipped += 1
             continue
         errors = validate_event(event)
         if errors:
             if strict:
                 raise ValueError(f"line {lineno}: {'; '.join(errors)}")
+            skipped += 1
             continue
         events.append(event)
-    return events
+    return events, skipped
+
+
+def load_events(
+    source: Union[str, Path, TextIO],
+    strict: bool = False,
+) -> List[Dict[str, object]]:
+    """:func:`read_events` without the skip count (the historical
+    API; callers that need to surface torn tails use read_events)."""
+    return read_events(source, strict=strict)[0]
 
 
 def event_census(events: Sequence[Dict[str, object]]) -> Dict[str, int]:
@@ -357,7 +375,7 @@ def render_telemetry_report(
     outlier_factor: float = DEFAULT_OUTLIER_FACTOR,
 ) -> str:
     """Full text report for ``repro report --telemetry PATH``."""
-    events = load_events(source)
+    events, skipped = read_events(source)
     parts: List[str] = []
     census = event_census(events)
     parts.append(
@@ -367,6 +385,12 @@ def render_telemetry_report(
             title=f"Telemetry events ({len(events)} total)",
         )
     )
+    if skipped:
+        parts.append(
+            f"skipped {skipped} malformed line(s) — a torn tail from a "
+            "writer killed mid-record is normal; more than one line "
+            "suggests stream corruption"
+        )
     phase_rows = phase_profile_table(events)
     if phase_rows:
         parts.append("")

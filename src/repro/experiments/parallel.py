@@ -39,8 +39,6 @@ import hashlib
 import importlib
 import json
 import os
-import signal
-import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -49,6 +47,7 @@ from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.deadline import Watchdog
 from repro.errors import ReproError, WakeUpFailure
 from repro.graphs.compile import (
     DEFAULT_TOPOLOGY_DIR,
@@ -280,8 +279,14 @@ def run_cell(
     """Worker entry point for one cell: never raises.
 
     Failures come back as structured payloads; the per-cell timeout is
-    enforced worker-side with ``SIGALRM`` (interrupting even a CPU-bound
-    engine loop), so a slow cell costs its budget and nothing more.
+    enforced worker-side with a :class:`repro.deadline.Watchdog` — a
+    timer thread that raises into this thread at the next bytecode
+    boundary, interrupting even a CPU-bound engine loop — so a slow
+    cell costs its budget and nothing more.  Unlike the original
+    ``SIGALRM`` implementation this works from *any* thread: the
+    :mod:`repro.serve` daemon's job workers run cells off the main
+    thread, where an alarm can never be armed (the budget used to be
+    silently unenforced there).
     When the spec enables a flight recorder, every failure payload
     carries ``trace_tail`` — the last events before things went wrong.
 
@@ -302,17 +307,11 @@ def run_cell(
     if collect_metrics:
         local_registry = MetricsRegistry()
         prev_registry = set_global_registry(local_registry)
-    use_alarm = (
-        cell_timeout is not None
-        and threading.current_thread() is threading.main_thread()
+    watchdog = (
+        Watchdog(cell_timeout, exc_type=_CellTimeout)
+        if cell_timeout is not None
+        else None
     )
-    old_handler = None
-    if use_alarm:
-
-        def _on_alarm(signum, frame):
-            raise _CellTimeout()
-
-        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
     timeout_payload = {
         "ok": False,
         "status": "timeout",
@@ -323,14 +322,15 @@ def run_cell(
         try:
             # The timer is armed *inside* the try so a very short budget
             # cannot fire in the gap before the except clauses are live.
-            if use_alarm:
-                signal.setitimer(signal.ITIMER_REAL, cell_timeout)
+            if watchdog is not None:
+                watchdog.start()
             payload = _execute_cell(
                 spec, scratch, topology_store=topology_store
             )
             payload["ok"] = True
             payload["status"] = "ok"
         except _CellTimeout:
+            watchdog.mark_caught()
             payload = timeout_payload
         except WakeUpFailure as exc:
             payload = {
@@ -348,17 +348,21 @@ def run_cell(
                 "error_kind": type(exc).__name__,
             }
         finally:
-            if use_alarm:
-                signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if watchdog is not None:
+                watchdog.cancel()
     except _CellTimeout:
-        # The alarm was already pending when an except/finally clause
-        # above ran; the timer is one-shot, so just record the timeout.
+        # The expiry was already in flight when an except/finally clause
+        # above ran; the watchdog is one-shot, so just record it.
+        watchdog.mark_caught()
         payload = timeout_payload
     finally:
-        if use_alarm:
-            signal.signal(signal.SIGALRM, old_handler)
         if local_registry is not None:
             set_global_registry(prev_registry)
+    if watchdog is not None and watchdog.absorb():
+        # The deadline expired: the verdict is a timeout even when the
+        # cell raced it to completion, and absorb() guarantees no
+        # in-flight _CellTimeout can detonate in a later frame.
+        payload = timeout_payload
     if not payload.get("ok") and scratch.get("trace") is not None:
         payload["trace_tail"] = scratch["trace"].tail()
     if local_registry is not None:

@@ -150,6 +150,19 @@ CATALOG: Dict[str, Dict[str, Any]] = {
         "type": "counter", "help": "Worst-case search evaluations."},
     "repro_shrink_iterations_total": {
         "type": "counter", "help": "Counterexample shrink test runs."},
+    # -- repro.serve (the job daemon) ----------------------------------
+    "repro_serve_jobs_total": {
+        "type": "counter",
+        "help": "Serve jobs reaching a terminal state (labels: "
+                "status=done|failed|timeout|rejected|deduped)."},
+    "repro_serve_queue_depth": {
+        "type": "gauge",
+        "help": "Jobs admitted but not yet finished (queued + "
+                "running)."},
+    "repro_serve_job_seconds": {
+        "type": "histogram", "buckets": SECONDS_BUCKETS,
+        "help": "Job wall-clock latency, admission to terminal state "
+                "(nondeterministic)."},
 }
 
 _TIMING_SUFFIX = "_seconds"

@@ -1,0 +1,46 @@
+"""The wake-up sweep service: a long-lived job daemon.
+
+The paper's subject is *adversarial wake-up* — work arriving at times
+the algorithm does not control.  This package is the repro's systems
+counterpart: ``repro serve`` keeps the executor, caches, and metrics
+registry warm in one process while many concurrent clients submit
+sweep/check/worstcase jobs over a local socket and watch their
+schema-versioned telemetry stream live.
+
+Layers (see ``docs/serving.md`` for the full protocol):
+
+* :mod:`repro.serve.protocol` — JSON lines over a unix socket;
+* :mod:`repro.serve.jobs` — spec validation, content-addressed job
+  identity (the dedup key), execution;
+* :mod:`repro.serve.server` — admission control, the job runner,
+  event fan-out, metrics;
+* :mod:`repro.serve.client` — ``repro submit`` / ``repro jobs`` and
+  ``scripts/load_serve.py`` build on this.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import (
+    JOB_KINDS,
+    canonical_spec,
+    count_cells,
+    execute_job,
+    job_id,
+    validate_job,
+)
+from repro.serve.protocol import DEFAULT_SOCKET, is_event
+from repro.serve.server import ServeConfig, SweepServer
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "JOB_KINDS",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "SweepServer",
+    "canonical_spec",
+    "count_cells",
+    "execute_job",
+    "is_event",
+    "job_id",
+    "validate_job",
+]

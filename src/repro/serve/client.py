@@ -1,0 +1,131 @@
+"""Client side of the wire protocol (``repro submit`` / ``repro
+jobs`` and the load harness build on this).
+
+Every operation opens a fresh connection, sends one request line, and
+reads the response — see :mod:`repro.serve.protocol`.  The interesting
+call is :meth:`ServeClient.submit_watch`, which yields the job's
+telemetry events as they stream and returns when the final control
+line arrives.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    DEFAULT_SOCKET,
+    dump_line,
+    is_event,
+    read_lines,
+)
+
+
+class ServeError(ReproError):
+    """Daemon unreachable or protocol-level failure (a *rejected* job
+    is not an error — it is a structured response)."""
+
+
+class ServeClient:
+    def __init__(
+        self,
+        socket_path: str = DEFAULT_SOCKET,
+        timeout: Optional[float] = 60.0,
+    ):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServeError(
+                f"cannot reach daemon at {self.socket_path}: {exc}"
+            ) from None
+        return sock
+
+    def _request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response line."""
+        sock = self._connect()
+        try:
+            sock.sendall(dump_line(req))
+            for obj in read_lines(sock, timeout=self.timeout):
+                return obj
+            raise ServeError("daemon closed the connection mid-reply")
+        except OSError as exc:
+            raise ServeError(f"request failed: {exc}") from None
+        finally:
+            sock.close()
+
+    # -- operations ------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"op": "stats"})
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        resp = self._request({"op": "jobs"})
+        return resp.get("jobs", [])
+
+    def status(self, job: str) -> Dict[str, Any]:
+        return self._request({"op": "status", "job": job})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request({"op": "shutdown"})
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Fire-and-forget submit; returns the ack (or the structured
+        rejection — check ``resp.get("ok")``)."""
+        return self._request({"op": "submit", "job": spec})
+
+    def submit_watch(
+        self, spec: Dict[str, Any]
+    ) -> Iterator[Dict[str, Any]]:
+        """Submit and stream: yields the ack/rejection line first, then
+        every telemetry event line, then the final ``done`` line."""
+        sock = self._connect()
+        try:
+            sock.sendall(
+                dump_line({"op": "submit", "job": spec, "watch": True})
+            )
+            for obj in read_lines(sock, timeout=self.timeout):
+                yield obj
+                if obj.get("done") or obj.get("ok") is False:
+                    return
+        except OSError as exc:
+            raise ServeError(f"watch stream failed: {exc}") from None
+        finally:
+            sock.close()
+
+    # -- conveniences ----------------------------------------------------
+    def run_job(
+        self, spec: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+        """Submit, watch to completion; returns ``(final, events)``.
+        ``final`` is the job summary (or the rejection line)."""
+        events: List[Dict[str, Any]] = []
+        final: Dict[str, Any] = {}
+        for obj in self.submit_watch(spec):
+            if is_event(obj):
+                events.append(obj)
+            else:
+                final = obj
+        return final, events
+
+    def wait_ready(self, budget: float = 10.0) -> bool:
+        """Poll until the daemon answers ``ping`` (startup helper)."""
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            try:
+                if self.ping().get("ok"):
+                    return True
+            except ServeError:
+                time.sleep(0.05)
+        return False

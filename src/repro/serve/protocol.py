@@ -1,0 +1,104 @@
+"""The wire protocol: JSON lines over a local stream socket.
+
+One request per connection: the client sends a single JSON object line
+``{"op": ..., ...}`` and reads JSON object lines back until the
+connection closes.  Responses come in two flavours:
+
+* **control lines** — carry ``"ok"`` (and, for streams, a final line
+  carrying ``"done"``); these are daemon bookkeeping, not telemetry.
+* **event lines** — schema-versioned :mod:`repro.obs` events
+  (distinguished by their ``"kind"`` + ``"schema"`` envelope).  A
+  watched submit streams the job's full telemetry lifecycle
+  (``job_queued`` … ``job_end`` with the per-cell events in between),
+  so a captured stream validates with ``scripts/check_telemetry.py``
+  unchanged.
+
+Ops
+---
+
+==========  ========================================================
+``ping``      liveness probe → ``{"ok": true, "pong": ...}``
+``submit``    submit a job spec; ``"watch": true`` streams events
+              then ``{"done": true, "job": <summary>}``
+``status``    one job's summary by id
+``jobs``      every job the daemon remembers (newest last)
+``stats``     queue depth + a metrics-registry snapshot
+``shutdown``  stop accepting, finish the running job, exit
+==========  ========================================================
+
+Streams are ASCII (``json.dumps`` default) so a truncated tail is
+always a byte-prefix of a valid line — the malformed-tail tolerance in
+the telemetry readers handles the kill-mid-write case.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+#: Default rendezvous point (kept under results/ with the other
+#: runtime artifacts; override with ``--socket``).
+DEFAULT_SOCKET = "results/serve.sock"
+
+#: Requests/response lines larger than this are protocol errors.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+OPS = ("ping", "submit", "status", "jobs", "stats", "shutdown")
+
+
+class ProtocolError(Exception):
+    """Malformed request or response line."""
+
+
+def dump_line(obj: Dict[str, Any]) -> bytes:
+    """One wire line (ASCII JSON + newline)."""
+    return (json.dumps(obj, sort_keys=True, default=repr) + "\n").encode(
+        "ascii"
+    )
+
+
+def parse_request(line: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"request is not JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request is not a JSON object")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; known: {list(OPS)}")
+    return obj
+
+
+def is_event(obj: Dict[str, Any]) -> bool:
+    """Event line vs control line (see module docstring)."""
+    return "kind" in obj and "schema" in obj
+
+
+def read_lines(
+    sock: socket.socket, timeout: Optional[float] = None
+) -> Iterator[Dict[str, Any]]:
+    """Yield parsed JSON object lines until EOF."""
+    sock.settimeout(timeout)
+    buf = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as exc:
+                raise ProtocolError(
+                    f"response line is not JSON: {exc}"
+                ) from None
+            if not isinstance(obj, dict):
+                raise ProtocolError("response line is not a JSON object")
+            yield obj
+        if len(buf) > MAX_LINE_BYTES:
+            raise ProtocolError("response line exceeds MAX_LINE_BYTES")

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import threading
 import time
 
 import pytest
@@ -286,13 +287,38 @@ class KillerAlgo(WakeUpAlgorithm):
 
 
 class SleeperAlgo(WakeUpAlgorithm):
-    """Burns wall-clock past any sane per-cell budget."""
+    """Burns wall-clock past any sane per-cell budget.
+
+    Sleeps in small increments rather than one blocking call: the
+    watchdog's async exception lands at a bytecode boundary, so a
+    single 30s C-level sleep would only time out on return.
+    """
 
     name = "test-sleeper"
     congest_safe = True
 
     def build_nodes(self, setup):
-        time.sleep(30.0)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            time.sleep(0.005)
+        raise AssertionError("timeout did not fire")
+
+    def make_node(self, vertex, setup):  # pragma: no cover
+        raise AssertionError("unreachable")
+
+
+class BusyAlgo(WakeUpAlgorithm):
+    """Pure-Python busy loop — the CPU-bound runaway a real engine hang
+    looks like; only an async-exception watchdog can interrupt it off
+    the main thread."""
+
+    name = "test-busy"
+    congest_safe = True
+
+    def build_nodes(self, setup):
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            pass
         raise AssertionError("timeout did not fire")
 
     def make_node(self, vertex, setup):  # pragma: no cover
@@ -357,6 +383,42 @@ class TestFaultInjection:
         assert out[0].ok
         assert out[1].status == "timeout"
         assert "budget" in out[1].error
+
+    def test_cell_timeout_enforced_off_main_thread(self):
+        # Regression: the budget used to be armed with SIGALRM, gated on
+        # threading.current_thread() is threading.main_thread() — so a
+        # cell_timeout passed from any worker thread (exactly what the
+        # serve daemon's job workers do) was silently never enforced and
+        # a hanging cell ran to its natural end.
+        box = {}
+
+        def work():
+            box["payload"] = run_cell(
+                _fault_cell(f"{HERE}:SleeperAlgo"), cell_timeout=0.5
+            )
+
+        t = threading.Thread(target=work, daemon=True)
+        start = time.monotonic()
+        t.start()
+        t.join(timeout=15.0)
+        assert not t.is_alive(), "hanging cell was never timed out"
+        assert time.monotonic() - start < 15.0
+        assert box["payload"]["status"] == "timeout"
+        assert "budget" in box["payload"]["error"]
+
+    def test_cell_timeout_interrupts_cpu_bound_loop_off_main_thread(self):
+        box = {}
+
+        def work():
+            box["payload"] = run_cell(
+                _fault_cell(f"{HERE}:BusyAlgo"), cell_timeout=0.5
+            )
+
+        t = threading.Thread(target=work, daemon=True)
+        t.start()
+        t.join(timeout=15.0)
+        assert not t.is_alive()
+        assert box["payload"]["status"] == "timeout"
 
     def test_near_zero_timeout_never_escapes_run_cell(self):
         # Regression: the alarm used to be armed before the try block,

@@ -12,7 +12,8 @@ The guarantees under test:
 * **gate** — ``check`` compares candidates against the latest ledger
   entry of their profile: within-tolerance and faster-than-ledger
   runs pass, a >30% drop fails, asymmetric cases are notes, and a
-  profile without history demands seeding first;
+  profile without history seeds the ledger from the candidate and
+  reports "seeded, no baseline" instead of erroring;
 * **committed state** — the repository's ``PERF_LEDGER.jsonl`` is
   seeded for all four profiles and the committed ``BENCH_*.json``
   files pass the unified gate against it (the acceptance criterion
@@ -234,11 +235,34 @@ class TestGate:
         assert check({"engine": cand}, ledger,
                      max_regression=0.05, stream=io.StringIO())
 
-    def test_unseeded_profile_is_error(self, tmp_path):
+    def test_unseeded_profile_seeds_instead_of_failing(self, tmp_path):
+        # Regression: an unseeded profile used to hard-error, so the
+        # first bench of any new profile could never pass CI.  Now the
+        # candidate seeds the ledger and the gate reports it.
         ledger = self._seeded(tmp_path)
         cand = write(tmp_path, "t.json", topology_payload(schema=2))
-        errors = check({"topology": cand}, ledger, stream=io.StringIO())
-        assert any("no ledger history" in e for e in errors)
+        buf = io.StringIO()
+        errors = check({"topology": cand}, ledger, stream=buf)
+        assert errors == []
+        assert "seeded, no baseline" in buf.getvalue()
+        assert "topology" in latest_per_profile(read_ledger(ledger))
+
+    def test_seeded_entry_gates_the_next_check(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        first = write(tmp_path, "first.json", engine_payload(rate=100.0))
+        assert check({"engine": first}, ledger,
+                     stream=io.StringIO()) == []
+        slow = write(tmp_path, "slow.json", engine_payload(rate=50.0))
+        errors = check({"engine": slow}, ledger, stream=io.StringIO())
+        assert errors and all("below ledger" in e for e in errors)
+
+    def test_empty_ledger_file_seeds_too(self, tmp_path):
+        ledger = tmp_path / "fresh.jsonl"  # does not exist yet
+        cand = write(tmp_path, "cand.json", engine_payload(rate=100.0))
+        buf = io.StringIO()
+        assert check({"engine": cand}, ledger, stream=buf) == []
+        assert "seeded, no baseline" in buf.getvalue()
+        assert ledger.exists()
 
     def test_asymmetric_cases_are_notes_not_errors(self, tmp_path):
         ledger = self._seeded(tmp_path)

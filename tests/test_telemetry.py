@@ -32,6 +32,7 @@ from repro.analysis.telemetry import (
     event_census,
     load_events,
     phase_profile_table,
+    read_events,
     render_telemetry_report,
     runtime_outliers,
 )
@@ -100,6 +101,11 @@ SAMPLE_FIELDS = {
             }
         },
     },
+    "job_queued": {"job": "j0123abcd", "job_kind": "sweep",
+                   "queue_depth": 3},
+    "job_start": {"job": "j0123abcd", "job_kind": "sweep"},
+    "job_end": {"job": "j0123abcd", "status": "done", "duration": 0.8},
+    "job_rejected": {"job": "j0123abcd", "reason": "queue full"},
 }
 
 
@@ -567,6 +573,16 @@ def telemetry_file(tmp_path):
     return path
 
 
+def _truncate_mid_record(path):
+    """Chop the final JSONL record in half, as a killed writer does."""
+    data = path.read_bytes()
+    body = data.rstrip(b"\n")
+    last_nl = body.rfind(b"\n")
+    cut = last_nl + 1 + (len(body) - last_nl - 1) // 2
+    path.write_bytes(data[:cut])
+    return data[cut:]
+
+
 class TestAnalysis:
     def test_load_events_skips_torn_line(self, telemetry_file):
         with open(telemetry_file, "a", encoding="utf-8") as fh:
@@ -610,6 +626,31 @@ class TestAnalysis:
         assert "Phase profile" in report
         assert "Cells by size" in report
         assert "runtime outliers: none" in report
+        assert "skipped" not in report
+
+    def test_read_events_counts_mid_record_truncation(self, telemetry_file):
+        # Regression: a record cut in half (writer killed mid-write)
+        # used to abort the whole load; it must skip-and-count instead.
+        lost = _truncate_mid_record(telemetry_file)
+        assert lost  # the cut really removed bytes from the last record
+        events, skipped = read_events(telemetry_file)
+        assert skipped == 1
+        assert events and all(validate_event(e) == [] for e in events)
+        with pytest.raises(ValueError, match="line"):
+            read_events(telemetry_file, strict=True)
+
+    def test_report_survives_truncated_tail_and_says_so(
+        self, telemetry_file, capsys
+    ):
+        from repro.__main__ import main
+
+        _truncate_mid_record(telemetry_file)
+        report = render_telemetry_report(telemetry_file)
+        assert "skipped 1 malformed line(s)" in report
+        assert "torn tail" in report
+        # and the CLI path exits 0 rather than crashing on the tail
+        assert main(["report", "--telemetry", str(telemetry_file)]) == 0
+        assert "skipped 1 malformed line(s)" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------
@@ -655,6 +696,24 @@ class TestCheckTelemetryScript:
         path.write_text("")
         proc = self.run_checker(str(path), "--min-cells", "1")
         assert proc.returncode == 1
+
+    def test_torn_tail_is_tolerated_and_counted(self, telemetry_file):
+        # Regression: a final record cut mid-write used to fail the
+        # checker; it must pass, count the tail, and say so.
+        _truncate_mid_record(telemetry_file)
+        proc = self.run_checker(str(telemetry_file))
+        assert proc.returncode == 0, proc.stderr
+        assert "skipped 1 torn tail line(s)" in proc.stdout
+
+    def test_mid_stream_corruption_still_fails(self, telemetry_file):
+        lines = telemetry_file.read_text(encoding="utf-8").splitlines()
+        lines.insert(len(lines) // 2, '{"kind": "cell_end", "trunc')
+        telemetry_file.write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        proc = self.run_checker(str(telemetry_file))
+        assert proc.returncode == 1
+        assert "unparseable" in proc.stderr
 
 
 # ----------------------------------------------------------------------
