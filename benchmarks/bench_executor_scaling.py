@@ -1,0 +1,305 @@
+"""Executor backend scaling benchmark: fork pool vs work stealing.
+
+PR-9 put the executor's process-pool plumbing behind the
+``ExecutionBackend`` protocol (``repro/experiments/backends.py``) and
+added a work-stealing backend with size-aware (largest-cells-first)
+scheduling.  This bench pins down the scheduling difference the
+refactor exists for, using *sleep-paced* cells — each cell's cost is a
+calibrated ``time.sleep`` spin, so the measurement is
+scheduling-bound, overlaps perfectly across worker processes, and is
+meaningful even on a single-core CI box:
+
+* ``uniform`` — equal-cost cells.  Scheduling order cannot matter;
+  the stealing backend must tie the fork pool (speedup ~1.0x).  This
+  is the no-regression guard.
+* ``skewed``  — a tail of small cells plus one large-``n`` straggler
+  *last* in submission order.  The fork pool assigns batches in
+  submission order, so the straggler starts after a full wave of
+  small batches and serializes the tail; the stealing backend sorts
+  batches largest-first (LPT) and overlaps the straggler with the
+  small cells.  Acceptance: >= 1.2x with >= 2 workers.
+
+``steal_speedup = fork_s / steal_s`` is the guarded metric per
+``(mix, workers)`` case.
+
+The payload also records a ``batching`` section — the same cell list
+run with ``chunk_size=1`` (one future per cell, the pre-PR-9 failure
+mode for small sweeps) vs the default plan (``plan_batches`` with its
+MIN_CHUNK floor) — quantifying the per-future IPC overhead the
+batching floor removes.  It is informational, not ledger-gated.
+
+Results land in ``BENCH_executor.json`` (repo root); the committed
+copy is the baseline the unified perf ledger (``repro perf check
+--candidate executor=...``) guards against regressions.  Run as a
+script:
+
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.flooding import Flooding
+from repro.experiments.parallel import CellSpec, ParallelSweepExecutor
+
+# Envelope v2: the unified BENCH_*.json schema (schema, created,
+# python, profile, cases); the profile names which PROFILES entry
+# in repro.analysis.perf guards it.
+SCHEMA = 2
+PROFILE = "executor"
+
+#: Every per-case record carries exactly these fields; the perf ledger
+#: (repro.analysis.perf.PROFILES["executor"]) refuses files without
+#: them.
+CASE_FIELDS = (
+    "mix",
+    "workers",
+    "cells",
+    "fork_s",
+    "steal_s",
+    "steal_speedup",
+)
+
+#: Sleep budget of one small cell / the skewed mix's straggler.
+SMALL_SLEEP_S = 0.08
+LARGE_SLEEP_S = 1.0
+#: Cells per batch, pinned so the submission shape (and therefore the
+#: fork pool's tail serialization) is deterministic across machines.
+CHUNK = 4
+
+DEFAULT_WORKERS = 2
+
+
+class PacedFlooding(Flooding):
+    """Flooding with a calibrated wall-clock cost.
+
+    Spins in small sleeps (a single blocking sleep would also work
+    here, but small increments keep the per-cell watchdog responsive)
+    before delegating to the real algorithm on a tiny graph, so a
+    cell's cost is its ``pace`` parameter, not its compute.  The
+    actual wake-up run keeps the rows real — the cross-backend
+    bit-identical assertion below compares genuine sweep records.
+    """
+
+    name = "bench-paced-flooding"
+
+    def __init__(self, pace: float = SMALL_SLEEP_S):
+        super().__init__()
+        self.pace = float(pace)
+
+    def build_nodes(self, setup):
+        deadline = time.monotonic() + self.pace
+        while time.monotonic() < deadline:
+            time.sleep(0.005)
+        return super().build_nodes(setup)
+
+
+#: Dotted path the worker processes resolve the paced algorithm by
+#: (fork inherits this module in sys.modules, so the import resolves
+#: whether the bench runs as a script or under pytest).
+PACED = f"{__name__}:PacedFlooding"
+
+
+def _cell(n: int, trial: int, pace: float) -> CellSpec:
+    return CellSpec(
+        algorithm=PACED,
+        n=n,
+        trial=trial,
+        seed=7,
+        engine="async",
+        knowledge="KT0",
+        bandwidth="CONGEST",
+        workload={"kind": "er_single_wake", "avg_degree": 3.0, "seed": 7},
+        algo_params={"pace": pace},
+    )
+
+
+def _mix_cells(mix: str, scale: float):
+    if mix == "uniform":
+        return [
+            _cell(48, t, SMALL_SLEEP_S * scale) for t in range(16)
+        ]
+    if mix == "skewed":
+        # The large-n straggler goes LAST: worst case for
+        # submission-order assignment, the case LPT fixes.
+        cells = [
+            _cell(48, t, SMALL_SLEEP_S * scale) for t in range(12)
+        ]
+        cells.append(_cell(512, 0, LARGE_SLEEP_S * scale))
+        return cells
+    raise ValueError(f"unknown mix {mix!r}")
+
+
+def _run(cells, backend: str, workers: int, chunk=CHUNK):
+    executor = ParallelSweepExecutor(
+        workers=workers,
+        backend=backend,
+        use_cache=False,
+        chunk_size=chunk,
+    )
+    t0 = time.perf_counter()
+    outcomes = executor.run(list(cells))
+    wall = time.perf_counter() - t0
+    bad = [o for o in outcomes if not o.ok]
+    assert not bad, [o.error for o in bad]
+    return wall, [o.record() for o in outcomes]
+
+
+def run_case(mix: str, workers: int, scale: float) -> dict:
+    cells = _mix_cells(mix, scale)
+    fork_s, fork_rows = _run(cells, "fork", workers)
+    steal_s, steal_rows = _run(cells, "steal", workers)
+    # Backends may only move wall clock, never results.
+    assert steal_rows == fork_rows, "backend changed sweep rows"
+    return {
+        "mix": mix,
+        "workers": workers,
+        "cells": len(cells),
+        "fork_s": fork_s,
+        "steal_s": steal_s,
+        "steal_speedup": fork_s / steal_s if steal_s > 0 else 0.0,
+    }
+
+
+def measure_batching(workers: int, cells: int = 96) -> dict:
+    """Per-future vs batched submission overhead on trivial cells
+    (the small-sweep IPC fix the MIN_CHUNK floor provides).  Enough
+    cells that the per-future round trips dominate the trivial cell
+    cost."""
+    specs = [_cell(32, t, 0.0) for t in range(cells)]
+    per_cell_s, _ = _run(specs, "fork", workers, chunk=1)
+    batched_s, _ = _run(specs, "fork", workers, chunk=None)
+    return {
+        "cells": cells,
+        "workers": workers,
+        "per_cell_s": per_cell_s,
+        "batched_s": batched_s,
+        "speedup": per_cell_s / batched_s if batched_s > 0 else 0.0,
+    }
+
+
+def run_bench(
+    workers: int = DEFAULT_WORKERS,
+    scale: float = 1.0,
+    quiet: bool = False,
+) -> dict:
+    cases = []
+    for mix in ("uniform", "skewed"):
+        rec = run_case(mix, workers, scale)
+        cases.append(rec)
+        if not quiet:
+            print(
+                f"{mix:8s} workers={workers} cells={rec['cells']:3d}  "
+                f"fork {rec['fork_s']:6.2f}s  "
+                f"steal {rec['steal_s']:6.2f}s  "
+                f"({rec['steal_speedup']:5.2f}x)"
+            )
+    batching = measure_batching(workers)
+    if not quiet:
+        print(
+            f"batching workers={workers} cells={batching['cells']:3d}  "
+            f"chunk=1 {batching['per_cell_s']:6.2f}s  "
+            f"batched {batching['batched_s']:6.2f}s  "
+            f"({batching['speedup']:5.2f}x)"
+        )
+    return {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "profile": PROFILE,
+        "cases": cases,
+        "batching": batching,
+    }
+
+
+def validate(payload: dict) -> list:
+    """Schema problems in a bench payload (empty list = valid)."""
+    problems = []
+    for key in ("schema", "created", "python", "profile", "cases"):
+        if key not in payload:
+            problems.append(f"missing top-level field {key!r}")
+    for i, case in enumerate(payload.get("cases", [])):
+        for f in CASE_FIELDS:
+            if f not in case:
+                problems.append(f"case #{i} missing field {f!r}")
+    if not payload.get("cases"):
+        problems.append("no cases recorded")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# pytest hook: a tiny smoke run so `pytest benchmarks/` covers the bench
+# ----------------------------------------------------------------------
+def test_executor_bench_smoke():
+    payload = run_bench(workers=2, scale=0.25, quiet=True)
+    assert validate(payload) == []
+    for case in payload["cases"]:
+        assert case["fork_s"] > 0
+        assert case["steal_s"] > 0
+        assert case["steal_speedup"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_executor.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS,
+        help="worker processes per backend run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiplier on every cell's sleep budget "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: reduced sleeps, schema validation, no baseline "
+        "overwrite (writes to --out only if given explicitly)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        payload = run_bench(workers=args.workers, scale=0.25)
+        problems = validate(payload)
+        if problems:
+            for p in problems:
+                print(f"BENCH SCHEMA ERROR: {p}", file=sys.stderr)
+            return 1
+        if args.out != parser.get_default("out"):
+            Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {args.out}")
+        print("bench check ok")
+        return 0
+
+    payload = run_bench(workers=args.workers, scale=args.scale)
+    problems = validate(payload)
+    if problems:
+        for p in problems:
+            print(f"BENCH SCHEMA ERROR: {p}", file=sys.stderr)
+        return 1
+    skewed = next(
+        c for c in payload["cases"] if c["mix"] == "skewed"
+    )
+    if args.workers >= 2 and skewed["steal_speedup"] < 1.2:
+        print(
+            "ACCEPTANCE FAIL: skewed-mix steal speedup "
+            f"{skewed['steal_speedup']:.2f}x < 1.2x",
+            file=sys.stderr,
+        )
+        return 1
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

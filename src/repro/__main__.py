@@ -65,7 +65,7 @@ import json
 import random
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import render_table
@@ -238,64 +238,126 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _replay_staleness(replay_dir) -> Dict[str, int]:
+    """Live/stale split of the replay directory against the current
+    engine+check salts."""
+    import json as _json
+
+    from repro.check.controller import replay_is_stale
+
+    counts = {"live": 0, "stale": 0}
+    if replay_dir.is_dir():
+        for p in sorted(replay_dir.rglob("*.json")):
+            try:
+                data = _json.loads(p.read_text(encoding="utf-8"))
+                counts["stale" if replay_is_stale(data) else "live"] += 1
+            except (OSError, ValueError):
+                counts["stale"] += 1
+    return counts
+
+
 def _cmd_cache(args) -> int:
     from pathlib import Path
+
+    from repro.experiments.parallel import cell_cache_report
+    from repro.versioning import salt_vector
 
     cache_dir = Path(args.cache_dir)
     store = TopologyStore(args.topology_dir)
     replay_dir = Path(args.replay_dir)
     if args.action == "info":
-        cells = (
-            sum(1 for _ in cache_dir.rglob("*.json"))
-            if cache_dir.is_dir()
-            else 0
-        )
         cell_bytes = (
             sum(p.stat().st_size for p in cache_dir.rglob("*.json"))
             if cache_dir.is_dir()
             else 0
         )
-        replays = sorted(replay_dir.rglob("*.json")) if replay_dir.is_dir() else []
+        cell_report = cell_cache_report(cache_dir)
+        topo_report = store.report()
+        replays = (
+            sorted(replay_dir.rglob("*.json"))
+            if replay_dir.is_dir()
+            else []
+        )
+        replay_report = _replay_staleness(replay_dir)
         print(
             render_table(
                 [
                     {
                         "cache": "cells",
                         "location": str(cache_dir),
-                        "entries": cells,
+                        "entries": cell_report["live"]
+                        + cell_report["stale"],
+                        "live": cell_report["live"],
+                        "stale": cell_report["stale"],
                         "bytes": cell_bytes,
                     },
                     {
                         "cache": "topologies",
                         "location": str(store.root),
                         "entries": store.artifact_count(),
+                        "live": topo_report["live"],
+                        "stale": topo_report["stale"],
                         "bytes": store.size_bytes(),
                     },
                     {
                         "cache": "replays",
                         "location": str(replay_dir),
                         "entries": len(replays),
+                        "live": replay_report["live"],
+                        "stale": replay_report["stale"],
                         "bytes": sum(p.stat().st_size for p in replays),
                     },
                 ],
                 title="On-disk runtime caches",
             )
         )
+        salts = salt_vector()
+        print(
+            render_table(
+                [
+                    {"subsystem": name, "salt": salt}
+                    for name, salt in salts.items()
+                ],
+                title="Subsystem code salts (repro.versioning)",
+            )
+        )
+        if cell_report["stale_by"]:
+            breakdown = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in sorted(
+                    cell_report["stale_by"].items()
+                )
+            )
+            print(f"stale cells by cause: {breakdown}")
+            print("hint: `repro cache purge --stale` removes only these")
         return 0
     # action == "purge"
+    stale_only = bool(getattr(args, "stale", False))
     removed_cells = removed_topos = removed_replays = 0
     if args.what in ("cells", "all"):
         removed_cells = ParallelSweepExecutor(
             workers=0, cache_dir=cache_dir
-        ).purge_cache()
+        ).purge_cache(stale_only=stale_only)
     if args.what in ("topologies", "all"):
-        removed_topos = store.purge()
+        removed_topos = store.purge(stale_only=stale_only)
     if args.what in ("replays", "all") and replay_dir.is_dir():
+        import json as _json
+
+        from repro.check.controller import replay_is_stale
+
         for p in sorted(replay_dir.rglob("*.json")):
+            if stale_only:
+                try:
+                    data = _json.loads(p.read_text(encoding="utf-8"))
+                    if not replay_is_stale(data):
+                        continue
+                except (OSError, ValueError):
+                    pass  # unreadable counts as stale
             p.unlink()
             removed_replays += 1
+    what = "stale " if stale_only else ""
     print(
-        f"purged {removed_cells} cached cell(s), "
+        f"purged {removed_cells} {what}cached cell(s), "
         f"{removed_topos} compiled topolog(y/ies), "
         f"{removed_replays} replay artifact(s)"
     )
@@ -707,6 +769,7 @@ def _make_executor(args) -> ParallelSweepExecutor:
         progress=_make_progress(args),
         topology_dir=args.topology_dir,
         use_topology_store=(False if args.no_topology_store else None),
+        backend=getattr(args, "exec_backend", "fork"),
     )
 
 
@@ -801,6 +864,7 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         topology_dir=args.topology_dir,
         use_cache=not args.no_cache,
+        backend=args.backend,
     )
     # Under --metrics the wrapper in main() installed a live global
     # registry whose snapshot lands on disk at exit; route the serve
@@ -1128,6 +1192,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=str(DEFAULT_TOPOLOGY_DIR),
         help="topology store location (default: results/.topologies)",
     )
+    p_cache.add_argument(
+        "--stale",
+        action="store_true",
+        help=(
+            "purge only entries whose per-subsystem salt vector no "
+            "longer matches the current code (superseded or legacy "
+            "envelopes); live entries survive"
+        ),
+    )
     _add_replay_dir_flag(p_cache)
 
     p_metrics = sub.add_parser(
@@ -1246,6 +1319,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor worker processes (default: in-process cells)",
     )
     p_serve.add_argument(
+        "--backend",
+        choices=("serial", "fork", "steal"),
+        default="steal",
+        help=(
+            "execution backend for multi-worker jobs; the default "
+            "work-stealing pool interleaves queued jobs' cells "
+            "(largest first) instead of running head-of-line "
+            "(default: %(default)s)"
+        ),
+    )
+    p_serve.add_argument(
         "--no-cache", action="store_true",
         help="skip the on-disk cell result cache",
     )
@@ -1323,6 +1407,18 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes (default: cpu count; 0/1 = in-process)",
+    )
+    parser.add_argument(
+        "--exec-backend",
+        choices=("serial", "fork", "steal"),
+        default="fork",
+        help=(
+            "execution backend for the multi-worker path "
+            "(repro.experiments.backends): fork = chunked process "
+            "pool, steal = shared-queue work stealing (largest cells "
+            "first), serial = force inline. Rows are bit-identical "
+            "across all three (default: %(default)s)"
+        ),
     )
     parser.add_argument(
         "--no-cache",

@@ -105,6 +105,21 @@ PROFILES: Dict[str, Dict[str, Any]] = {
             "warm_speedup",
         ),
     },
+    "executor": {
+        "baseline": "BENCH_executor.json",
+        "bench": "benchmarks/bench_executor_scaling.py",
+        "key_fields": ("mix", "workers"),
+        "metric": "steal_speedup",
+        "unit": "x fork wall / steal wall",
+        "required_fields": (
+            "mix",
+            "workers",
+            "cells",
+            "fork_s",
+            "steal_s",
+            "steal_speedup",
+        ),
+    },
 }
 
 #: Bench envelope versions this module understands.  Schema 2 adds the

@@ -730,10 +730,20 @@ def make_replay(
     ``delays`` replay through the *plain* engine via
     :class:`ReplayDelay` (valid only for mutation-free runs — a FIFO
     violation cannot be expressed as a DelayStrategy).
+
+    ``salts`` stamps the artifact with the ``engine`` and ``check``
+    subsystem code salts it was recorded under
+    (:func:`repro.versioning.replay_salt_vector`): a replay is only
+    bit-exact against the code that produced it, and the stamp is what
+    lets ``repro cache info`` / ``purge --stale`` tell live replays
+    from orphaned ones without re-running anything.
     """
+    from repro.versioning import replay_salt_vector
+
     return {
         "version": REPLAY_VERSION,
         "kind": REPLAY_KIND,
+        "salts": replay_salt_vector(),
         "algorithm": algorithm,
         "n": int(n),
         "seed": int(seed),
@@ -779,3 +789,18 @@ def load_replay(path) -> Dict[str, object]:
     data["choices"] = [int(c) for c in data["choices"]]
     get_registry().counter("repro_replay_store_total", op="load").inc()
     return data
+
+
+def replay_is_stale(data: Mapping) -> bool:
+    """Whether a replay artifact was recorded under superseded engine
+    or check code.  Loading a stale replay still works (the format is
+    stable) but bit-exactness is no longer guaranteed; ``repro cache
+    info`` reports these and ``purge --stale`` removes them.  Artifacts
+    predating the salt stamp count as stale — their provenance is
+    unknowable."""
+    from repro.versioning import replay_salt_vector
+
+    salts = data.get("salts")
+    if not isinstance(salts, dict):
+        return True
+    return dict(salts) != replay_salt_vector()

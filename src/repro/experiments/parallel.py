@@ -22,9 +22,12 @@ Design constraints, in order:
    (in an isolated single-worker pool so a deterministic crasher cannot
    poison its neighbours' retry budget).
 3. **Cache safety.**  Cache entries are keyed by a content hash of the
-   full cell spec plus a code-version salt (:data:`CODE_SALT`); bump
-   the salt whenever engine or algorithm semantics change and every
-   cached cell is transparently recomputed.
+   full cell spec plus the *derived* per-subsystem code salts
+   (:mod:`repro.versioning`): the engine salt, the graphs salt, and
+   the cell's per-algorithm salt.  A code edit automatically
+   invalidates exactly the cells whose execution it can perturb — a
+   ``spanner_advice.py`` change recomputes spanner-advice cells and
+   leaves flooding rows (and every compiled topology) warm.
 
 The worker payload — and the cache payload, deliberately the same
 representation — is the lean form of
@@ -40,7 +43,7 @@ import importlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from multiprocessing import get_context
@@ -63,16 +66,29 @@ from repro.obs.metrics import (
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.runner import WakeUpResult
 from repro.sim.trace import DEFAULT_FLIGHT_RECORDER, Trace
+from repro.versioning import cell_salt_vector
 
-# Bump whenever engine or algorithm semantics change: every cached cell
-# keyed under the old salt is then ignored and recomputed.
-# v2: lean payloads carry wake-cause counts and per-phase profiles.
-# v3: FIFO deliveries are clamped to the tau = 1 bound, the sync
-#     engine rounds fractional wake times up and honours drop
-#     strategies — all of which can shift cached time/message values.
-CODE_SALT = "repro-cell-v3"
+#: Cell-cache envelope layout version.  v1 envelopes carried the
+#: hand-bumped global ``CODE_SALT`` string ("repro-cell-v3" was the
+#: last); v2 envelopes carry the per-subsystem salt *vector* the key
+#: was derived from (engine + graphs + per-algorithm) plus the
+#: algorithm name, so staleness is decidable per envelope without the
+#: original spec (``repro cache info`` / ``purge --stale``).
+CACHE_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+
+def __getattr__(name: str) -> Any:
+    # Deprecated alias (PEP 562): the old hand-bumped constant now
+    # folds every derived subsystem salt, so legacy "did anything
+    # change?" consumers keep working without forcing the salt
+    # derivation at import time.
+    if name == "CODE_SALT":
+        from repro.versioning import code_salt
+
+        return code_salt()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -131,10 +147,10 @@ class CellSpec:
     @property
     def topology_key(self) -> str:
         """Content hash of this cell's compiled topology — the
-        ``(workload kind, params, n, CODE_SALT)`` digest shared by every
-        trial at the same size.  Deliberately a derived property, not a
-        dataclass field: it never enters ``as_dict`` and therefore never
-        perturbs :func:`cell_key`."""
+        ``(workload kind, params, n, graphs-salt)`` digest shared by
+        every trial at the same size.  Deliberately a derived property,
+        not a dataclass field: it never enters ``as_dict`` and
+        therefore never perturbs :func:`cell_key`."""
         return topology_key(self.workload, self.n)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -142,11 +158,15 @@ class CellSpec:
 
 
 def cell_key(spec: CellSpec) -> str:
-    """Content hash identifying a cell: the full spec plus the code
-    salt, canonically serialized.  Any differing input — seed, size,
-    algorithm parameter, adversary knob — yields a different key."""
+    """Content hash identifying a cell: the full spec plus the salts
+    its execution depends on (engine + graphs + the algorithm's
+    import-closure salt — :func:`repro.versioning.cell_salt_vector`),
+    canonically serialized.  Any differing input — seed, size,
+    algorithm parameter, adversary knob — yields a different key, and
+    so does any code edit that can reach this cell's execution; code
+    edits elsewhere leave the key (and the cached row) untouched."""
     blob = json.dumps(
-        {"salt": CODE_SALT, "spec": spec.as_dict()},
+        {"salts": cell_salt_vector(spec.algorithm), "spec": spec.as_dict()},
         sort_keys=True,
         separators=(",", ":"),
         default=repr,
@@ -481,6 +501,14 @@ class ParallelSweepExecutor:
         Process count; ``None`` means ``os.cpu_count()``.  ``0`` or
         ``1`` runs cells inline in this process (the serial baseline —
         same code path as the workers, no pool overhead).
+    backend:
+        Execution backend for the multi-worker path
+        (:mod:`repro.experiments.backends`): ``"fork"`` (default) is
+        the chunked :class:`~concurrent.futures.ProcessPoolExecutor`
+        pool, ``"steal"`` is the shared-queue work-stealing pool
+        (largest cells scheduled first), ``"serial"`` forces the
+        inline path regardless of ``workers``.  Rows are bit-identical
+        across all three — backends only reorder wall-clock work.
     cache_dir / use_cache:
         On-disk memoization of successful cells, keyed by
         :func:`cell_key`.  Failures are never cached.
@@ -546,7 +574,16 @@ class ParallelSweepExecutor:
         topology_dir: Union[str, Path] = DEFAULT_TOPOLOGY_DIR,
         use_topology_store: Optional[bool] = None,
         metrics: Optional[MetricsRegistry] = None,
+        backend: str = "fork",
     ):
+        from repro.experiments.backends import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown execution backend {backend!r}; "
+                f"known: {sorted(BACKENDS)}"
+            )
+        self.backend = backend
         self.workers = os.cpu_count() or 1 if workers is None else workers
         self.cache_dir = Path(cache_dir)
         self.use_cache = use_cache
@@ -585,7 +622,10 @@ class ParallelSweepExecutor:
         collect = mreg.enabled
         if self.recorder.enabled:
             self.recorder.emit(
-                "sweep_start", cells=len(cells), workers=self.workers
+                "sweep_start",
+                cells=len(cells),
+                workers=self.workers,
+                backend=self.backend,
             )
         if self.progress is not None:
             self.progress.start(len(cells), self.workers)
@@ -615,7 +655,7 @@ class ParallelSweepExecutor:
             mreg.gauge("repro_executor_cells_queued").set(len(misses))
 
         if misses:
-            if self.workers <= 1:
+            if self.workers <= 1 or self.backend == "serial":
                 for idx, spec, key in misses:
                     payload = run_cell(
                         spec,
@@ -628,7 +668,7 @@ class ParallelSweepExecutor:
                     outcomes[idx] = _outcome_from_payload(
                         spec, key, payload, cached=False
                     )
-                    self._maybe_cache(key, payload)
+                    self._maybe_cache(key, payload, spec)
                     self._publish(outcomes[idx])
             else:
                 self._run_pool(misses, outcomes, collect)
@@ -765,37 +805,34 @@ class ParallelSweepExecutor:
         outcomes: Dict[int, CellOutcome],
         collect: bool = False,
     ) -> None:
-        chunk = self.chunk_size or max(
-            1, -(-len(misses) // (self.workers * 4))
+        """Fan cache misses across the configured execution backend.
+
+        The executor plans batches (one IPC round trip each — see
+        :func:`repro.experiments.backends.plan_batches`), the backend
+        runs them; a batch drained as ``None`` lost its worker process
+        and falls through to :meth:`_run_isolated` for per-cell retry,
+        exactly like the pre-backend ``BrokenProcessPool`` path."""
+        from repro.experiments.backends import make_backend, plan_batches
+
+        batches = plan_batches(misses, self.workers, self.chunk_size)
+        backend = make_backend(
+            self.backend,
+            workers=self.workers,
+            cell_timeout=self.cell_timeout,
+            topology_store=self._topology_store,
+            collect_metrics=collect,
         )
-        batches = [
-            misses[i : i + chunk] for i in range(0, len(misses), chunk)
-        ]
         survivors: List[Tuple[int, CellSpec, str]] = []
-        broke = False
-        ctx = get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=ctx
-        ) as pool:
-            futs = {
-                pool.submit(
-                    _run_cell_batch,
-                    [spec for _, spec, _ in batch],
-                    self.cell_timeout,
-                    self._topology_store,
-                    collect,
-                ): batch
-                for batch in batches
-            }
-            for fut in as_completed(futs):
-                batch = futs[fut]
-                try:
-                    payloads = fut.result()
-                except BrokenProcessPool:
-                    # One of this batch's cells (or a neighbour) took a
-                    # worker down; every unfinished future fails with
-                    # the same error.  Defer to the isolation pass.
-                    broke = True
+        try:
+            for token, batch in enumerate(batches):
+                backend.submit_batch(
+                    token, [spec for _, spec, _ in batch]
+                )
+            for token, payloads in backend.drain():
+                batch = batches[token]
+                if payloads is None:
+                    # This batch's worker died (or the pool broke);
+                    # defer to the isolation pass.
                     survivors.extend(batch)
                     continue
                 for (idx, spec, key), payload in zip(batch, payloads):
@@ -804,9 +841,11 @@ class ParallelSweepExecutor:
                     outcomes[idx] = _outcome_from_payload(
                         spec, key, payload, cached=False
                     )
-                    self._maybe_cache(key, payload)
+                    self._maybe_cache(key, payload, spec)
                     self._publish(outcomes[idx])
-        if broke:
+        finally:
+            backend.close()
+        if survivors:
             self._run_isolated(survivors, outcomes, collect)
 
     def _run_isolated(
@@ -865,7 +904,7 @@ class ParallelSweepExecutor:
                     spec, key, payload, cached=False
                 )
                 outcomes[idx].attempts = attempts
-                self._maybe_cache(key, payload)
+                self._maybe_cache(key, payload, spec)
                 self._publish(outcomes[idx])
                 break
 
@@ -879,11 +918,16 @@ class ParallelSweepExecutor:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             return None
-        if data.get("salt") != CODE_SALT or data.get("key") != key:
+        # The key already encodes the full salt vector, so a key match
+        # implies salt-live; the schema check rejects v1 envelopes that
+        # could only collide by accident.
+        if data.get("schema") != CACHE_SCHEMA or data.get("key") != key:
             return None
         return data.get("payload")
 
-    def _maybe_cache(self, key: str, payload: Dict[str, Any]) -> None:
+    def _maybe_cache(
+        self, key: str, payload: Dict[str, Any], spec: CellSpec
+    ) -> None:
         if not self.use_cache or not payload.get("ok"):
             return
         path = self._cache_path(key)
@@ -891,24 +935,84 @@ class ParallelSweepExecutor:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(
             json.dumps(
-                {"salt": CODE_SALT, "key": key, "payload": payload},
+                {
+                    "schema": CACHE_SCHEMA,
+                    "key": key,
+                    "algorithm": spec.algorithm,
+                    "salts": cell_salt_vector(spec.algorithm),
+                    "payload": payload,
+                },
                 sort_keys=True,
             )
         )
         tmp.replace(path)
 
-    def purge_cache(self) -> int:
-        """Delete every cached cell; returns the number removed.  The
-        blunt instrument for forcing a cold re-run (EXPERIMENTS.md)."""
+    def purge_cache(self, stale_only: bool = False) -> int:
+        """Delete cached cells; returns the number removed.
+
+        ``stale_only`` keeps every entry whose salt vector still
+        matches the current code and removes the rest (superseded
+        salts, legacy v1 envelopes, unreadable files) — the surgical
+        successor of the old all-or-nothing purge, surfaced as
+        ``repro cache purge --stale``."""
         removed = 0
         if self.cache_dir.is_dir():
             for entry in self.cache_dir.rglob("*.json"):
+                if stale_only:
+                    status, _ = classify_cell_envelope(entry)
+                    if status == "live":
+                        continue
                 entry.unlink()
                 removed += 1
         return removed
 
-    def purge_topologies(self) -> int:
-        """Delete every stored compiled topology; returns the number
+    def purge_topologies(self, stale_only: bool = False) -> int:
+        """Delete stored compiled topologies; returns the number
         removed.  Independent of :meth:`purge_cache` — cached cell
         *results* survive a topology purge and vice versa."""
-        return TopologyStore(self.topology_dir).purge()
+        return TopologyStore(self.topology_dir).purge(stale_only=stale_only)
+
+
+def classify_cell_envelope(path: Union[str, Path]) -> Tuple[str, str]:
+    """Liveness of one on-disk cell envelope: ``("live", "")`` or
+    ``("stale", reason)`` where the reason names what invalidated it —
+    ``"legacy"`` (v1 envelope), ``"unreadable"``, or the stale salt
+    components (``"engine"``, ``"engine+algorithms"``, ...).  Powers
+    the ``repro cache info`` salt report and ``purge --stale``."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return "stale", "unreadable"
+    if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA:
+        return "stale", "legacy"
+    salts = data.get("salts")
+    algorithm = data.get("algorithm")
+    if not isinstance(salts, dict) or not isinstance(algorithm, str):
+        return "stale", "legacy"
+    current = cell_salt_vector(algorithm)
+    mismatched = sorted(
+        name for name, salt in current.items() if salts.get(name) != salt
+    )
+    if mismatched:
+        return "stale", "+".join(mismatched)
+    return "live", ""
+
+
+def cell_cache_report(
+    cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR,
+) -> Dict[str, Any]:
+    """Walk the cell cache and bucket every envelope by liveness:
+    ``{"live": n, "stale": m, "stale_by": {reason: count}}``."""
+    report: Dict[str, Any] = {"live": 0, "stale": 0, "stale_by": {}}
+    cache_dir = Path(cache_dir)
+    if cache_dir.is_dir():
+        for entry in cache_dir.rglob("*.json"):
+            status, reason = classify_cell_envelope(entry)
+            if status == "live":
+                report["live"] += 1
+            else:
+                report["stale"] += 1
+                report["stale_by"][reason] = (
+                    report["stale_by"].get(reason, 0) + 1
+                )
+    return report

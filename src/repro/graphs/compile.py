@@ -17,8 +17,11 @@ This module is the "compile once, execute many" separation:
   ``rho_awk``, and optional *extras* (precomputed spanner edge lists
   for the advice algorithms);
 * an **in-process LRU** keyed by :func:`topology_key` — a stable
-  blake2b digest of ``(workload kind, params, n, CODE_SALT)`` — so
-  repeated trials at the same n in one process reuse one build;
+  blake2b digest of ``(workload kind, params, n, graphs-salt)``, where
+  the salt is the graphs-subsystem code digest from
+  :mod:`repro.versioning` — so repeated trials at the same n in one
+  process reuse one build, and only *graphs-layer* code edits orphan
+  stored artifacts;
 * :class:`TopologyStore` — the on-disk artifact store next to the cell
   cache: worker processes deserialize a compiled topology instead of
   rebuilding, with write-to-temp + atomic rename and an advisory file
@@ -69,13 +72,13 @@ _STAT_KEYS = ("build", "hit_mem", "hit_disk")
 
 
 def _default_salt() -> str:
-    # The cell cache's code-version salt; imported lazily because
-    # repro.experiments.parallel imports this module at top level.
-    # Bumping CODE_SALT therefore invalidates compiled topologies and
-    # cached cells in the same stroke.
-    from repro.experiments.parallel import CODE_SALT
+    # The graphs-subsystem code salt (repro.versioning): compiled
+    # topologies depend only on workload-builder and compile-layer
+    # code, so engine or algorithm edits leave every artifact live.
+    # Imported lazily to keep this module import-light.
+    from repro.versioning import subsystem_salt
 
-    return CODE_SALT
+    return subsystem_salt("graphs")
 
 
 def topology_key(
@@ -441,7 +444,7 @@ class TopologyStore:
     store after acquiring it, so N workers racing on one topology
     perform exactly one build (the rest load the winner's artifact).
 
-    A mismatched ``salt`` (the cell cache's ``CODE_SALT``), a
+    A mismatched ``salt`` (the graphs-subsystem code salt), a
     mismatched key, or any unpickling/digest failure is treated as a
     miss: the topology is rebuilt and the artifact rewritten.
     """
@@ -568,15 +571,60 @@ class TopologyStore:
             pass
 
     # -- maintenance -----------------------------------------------------
-    def purge(self) -> int:
-        """Delete every stored artifact; returns the number removed."""
+    def iter_entries(self):
+        """Yield ``(path, envelope-or-None)`` for every stored
+        artifact; ``None`` marks an unreadable/torn file.  The envelope
+        is the outer dict only (salt, key, digest) — bodies are not
+        unpickled, so walking a large store is cheap."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.rglob("*.topo")):
+            try:
+                envelope = pickle.loads(path.read_bytes())
+                if (
+                    not isinstance(envelope, dict)
+                    or envelope.get("magic") != "repro-topology"
+                ):
+                    envelope = None
+            except Exception:
+                envelope = None
+            yield path, envelope
+
+    def report(self) -> Dict[str, int]:
+        """Live/stale artifact counts against the current graphs salt
+        (the ``repro cache info`` salt report)."""
+        live = stale = 0
+        for _path, envelope in self.iter_entries():
+            if (
+                envelope is not None
+                and envelope.get("version") == STORE_VERSION
+                and envelope.get("salt") == self.salt
+            ):
+                live += 1
+            else:
+                stale += 1
+        return {"live": live, "stale": stale}
+
+    def purge(self, stale_only: bool = False) -> int:
+        """Delete stored artifacts; returns the number removed.
+
+        ``stale_only`` keeps artifacts whose salt matches the current
+        graphs-subsystem salt and removes the rest (superseded salts,
+        old layout versions, torn files)."""
         removed = 0
         if self.root.is_dir():
-            for entry in self.root.rglob("*.topo"):
-                entry.unlink()
+            for path, envelope in self.iter_entries():
+                if stale_only and (
+                    envelope is not None
+                    and envelope.get("version") == STORE_VERSION
+                    and envelope.get("salt") == self.salt
+                ):
+                    continue
+                path.unlink()
                 removed += 1
-            for entry in self.root.rglob("*.lock"):
-                entry.unlink()
+            if not stale_only:
+                for entry in self.root.rglob("*.lock"):
+                    entry.unlink()
         return removed
 
     def artifact_count(self) -> int:

@@ -103,6 +103,11 @@ class ServeConfig:
     cell_timeout: Optional[float] = 30.0
     #: Executor worker processes (0/1 = in-process cells).
     workers: int = 0
+    #: Execution backend for multi-worker jobs (``serial`` / ``fork``
+    #: / ``steal``).  The daemon defaults to the work-stealing pool so
+    #: queued jobs' cells interleave (largest first) instead of
+    #: running head-of-line; rows are backend-independent.
+    backend: str = "steal"
     cache_dir: str = str(DEFAULT_CACHE_DIR)
     topology_dir: str = str(DEFAULT_TOPOLOGY_DIR)
     use_cache: bool = True
@@ -538,6 +543,7 @@ class SweepServer:
             recorder=rec,
             topology_dir=self.config.topology_dir,
             metrics=self.metrics,
+            backend=self.config.backend,
         )
 
     def _run_job(self, job: Job) -> None:

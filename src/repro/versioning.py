@@ -1,0 +1,401 @@
+"""Per-subsystem code-version salts for incremental cache invalidation.
+
+Until PR-9 one hand-bumped global (``repro.experiments.parallel
+.CODE_SALT``) keyed every runtime cache: cached sweep cells, compiled
+topology artifacts, and check replays all died together whenever *any*
+semantics changed.  That made every engine tweak a cold start — a
+one-line edit to ``spanner_advice.py`` purged flooding rows and every
+64-693x-warm topology artifact with it.
+
+This module replaces the hand-bumped constant with *derived* salts:
+
+* the ``repro`` package is partitioned into **subsystems** by a
+  declared longest-prefix map (:data:`SUBSYSTEMS`); a test asserts the
+  partition is total, so a new module cannot silently float outside
+  the invalidation story;
+* every module's source is **normalized** (parsed to an AST, docstrings
+  stripped, then ``ast.dump``-ed — comments and formatting vanish with
+  the parse) and digested, so doc-only edits never invalidate anything;
+* a subsystem's salt is a stable blake2b fold over its modules'
+  ``(name, digest)`` pairs — any *code* edit inside the subsystem moves
+  the salt, edits elsewhere do not;
+* algorithm cells get finer granularity still:
+  :func:`algorithm_salt` digests only the algorithm's *import closure*
+  within the algorithms subsystem (plus the registry, which carries
+  construction parameters), so a ``spanner_advice.py`` edit re-executes
+  spanner-advice cells and leaves flooding cells warm.
+
+Consumers pick the salts they actually depend on:
+
+=====================  =============================================
+cache                  salts in the key
+=====================  =============================================
+sweep cells            ``engine`` + ``graphs`` + per-algorithm
+compiled topologies    ``graphs``
+check replays          ``engine`` + ``check``
+=====================  =============================================
+
+The ``harness`` subsystem (executors, CLI, serve daemon, telemetry) is
+deliberately in *no* cache key: orchestration code moves results
+around but never changes what a cell computes — the bit-identical-rows
+conformance suite is what enforces that claim.
+
+Everything here is memoized per process and deliberately import-light:
+salts are computed from *source text on disk*, never by importing the
+measured modules, so hashing the world costs one directory walk and a
+few milliseconds, once.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+#: Subsystem -> module-name prefixes (longest prefix wins).  Top-level
+#: one-file modules are listed explicitly under ``harness`` so the
+#: partition is total over the package; the completeness test in
+#: ``tests/test_versioning.py`` fails the build when a new module
+#: matches nothing.
+SUBSYSTEMS: Dict[str, Tuple[str, ...]] = {
+    # Event loops, node runtime, adversary, result/trace plumbing, and
+    # the model layer (ports, knowledge, advice setup) cells run on.
+    "engine": ("repro.sim", "repro.models"),
+    # Workload builders, compiled-topology artifacts, spanners.
+    "graphs": ("repro.graphs",),
+    # Algorithm implementations + the advice oracles they query.
+    "algorithms": ("repro.core", "repro.advice"),
+    # Schedule-space exploration, worst-case search, replay artifacts;
+    # lowerbounds feeds the class-G worlds the checker explores.
+    "check": ("repro.check", "repro.lowerbounds"),
+    # Orchestration: executors, CLI, serve daemon, observability,
+    # analysis, notebooks.  Never part of a cache key.
+    "harness": (
+        "repro.experiments",
+        "repro.serve",
+        "repro.obs",
+        "repro.analysis",
+        "repro.apps",
+        "repro.versioning",
+        "repro.errors",
+        "repro.deadline",
+        "repro.__main__",
+    ),
+}
+
+#: Modules whose digests join *every* algorithm salt but whose imports
+#: are never traversed: the registry imports every algorithm module by
+#: design, so expanding through it would collapse per-algorithm
+#: granularity back to one subsystem-wide salt.  It still must be
+#: digested everywhere — it carries construction parameters (e.g.
+#: ``lambda: SpannerAdvice(k=3, method="greedy")``).
+ALGORITHM_BARRIER_MODULES: Tuple[str, ...] = (
+    "repro.core.registry",
+    "repro.core",
+    "repro.advice",
+)
+
+
+def subsystem_of(module: str) -> str:
+    """Map a module name to its subsystem (longest prefix wins).
+
+    Raises ``KeyError`` for a module no prefix covers — the
+    completeness test turns that into a build failure.  The bare
+    package ``__init__`` is harness by fiat; there is deliberately no
+    ``repro.*`` catch-all, so a brand-new top-level module *fails*
+    mapping until someone decides which caches its code can perturb.
+    """
+    if module == "repro":
+        return "harness"
+    best: Tuple[int, Optional[str]] = (-1, None)
+    for name, prefixes in SUBSYSTEMS.items():
+        for prefix in prefixes:
+            if module == prefix or module.startswith(prefix + "."):
+                if len(prefix) > best[0]:
+                    best = (len(prefix), name)
+    if best[1] is None:
+        raise KeyError(
+            f"module {module!r} maps to no subsystem; "
+            "extend repro.versioning.SUBSYSTEMS"
+        )
+    return best[1]
+
+
+# ----------------------------------------------------------------------
+# Source normalization + digests
+# ----------------------------------------------------------------------
+def normalized_source(text: str) -> str:
+    """Source with comments, whitespace, and docstrings erased.
+
+    Parses to an AST (which drops comments and formatting by
+    construction), removes every docstring expression, and dumps the
+    tree without position attributes — so a doc-only edit yields the
+    byte-identical normal form.  Text that does not parse (syntax
+    error mid-edit) falls back to the raw text: a conservative digest
+    beats an exception while the user is typing.
+    """
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return text
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                del body[0]
+    return ast.dump(tree, include_attributes=False)
+
+
+def source_digest(text: str) -> str:
+    """Stable digest of one module's normalized source."""
+    norm = normalized_source(text)
+    return hashlib.blake2b(
+        norm.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def _fold(parts: Iterable[Tuple[str, str]]) -> str:
+    """Fold sorted ``(module, digest)`` pairs into one salt."""
+    blob = json.dumps(sorted(parts), separators=(",", ":"))
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=8).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Package walk (memoized)
+# ----------------------------------------------------------------------
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _module_name(root: Path, path: Path) -> str:
+    rel = path.relative_to(root).with_suffix("")
+    parts = ["repro", *rel.parts]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+_MODULE_INDEX: Optional[Dict[str, Path]] = None
+_DIGESTS: Dict[str, str] = {}
+_SUBSYSTEM_SALTS: Dict[str, str] = {}
+_ALGORITHM_SALTS: Dict[str, str] = {}
+
+
+def module_index(root: Optional[Path] = None) -> Dict[str, Path]:
+    """Every ``repro.*`` module name -> source path (memoized for the
+    default root)."""
+    global _MODULE_INDEX
+    if root is None:
+        if _MODULE_INDEX is None:
+            base = package_root()
+            _MODULE_INDEX = {
+                _module_name(base, p): p for p in sorted(base.rglob("*.py"))
+            }
+        return _MODULE_INDEX
+    return {_module_name(root, p): p for p in sorted(root.rglob("*.py"))}
+
+
+def module_digest(module: str) -> str:
+    """Digest of one module's on-disk source (memoized)."""
+    digest = _DIGESTS.get(module)
+    if digest is None:
+        path = module_index()[module]
+        digest = source_digest(path.read_text(encoding="utf-8"))
+        _DIGESTS[module] = digest
+    return digest
+
+
+def clear_salt_cache() -> None:
+    """Forget every memoized digest/salt (tests edit sources on disk)."""
+    global _MODULE_INDEX
+    _MODULE_INDEX = None
+    _DIGESTS.clear()
+    _SUBSYSTEM_SALTS.clear()
+    _ALGORITHM_SALTS.clear()
+
+
+# ----------------------------------------------------------------------
+# Subsystem salts
+# ----------------------------------------------------------------------
+def subsystem_modules(name: str) -> List[str]:
+    """All package modules belonging to one subsystem."""
+    if name not in SUBSYSTEMS:
+        raise KeyError(
+            f"unknown subsystem {name!r}; known: {sorted(SUBSYSTEMS)}"
+        )
+    return [m for m in module_index() if subsystem_of(m) == name]
+
+
+def subsystem_salt(name: str) -> str:
+    """The derived code-version salt for one subsystem (memoized)."""
+    salt = _SUBSYSTEM_SALTS.get(name)
+    if salt is None:
+        salt = _fold(
+            (m, module_digest(m)) for m in subsystem_modules(name)
+        )
+        _SUBSYSTEM_SALTS[name] = salt
+    return salt
+
+
+def salt_vector() -> Dict[str, str]:
+    """Every subsystem's current salt — the diagnostics vector
+    ``repro cache info`` prints."""
+    return {name: subsystem_salt(name) for name in SUBSYSTEMS}
+
+
+def code_salt() -> str:
+    """Deprecated whole-world fold of every subsystem salt.
+
+    The successor of the hand-bumped ``CODE_SALT`` constant, kept so
+    anything that wants "did *any* semantics change?" still has one
+    string to compare.  New code should depend on the narrowest salts
+    that cover it instead.
+    """
+    return "repro-cells-" + _fold(sorted(salt_vector().items()))
+
+
+# ----------------------------------------------------------------------
+# Per-algorithm salts (import closure within the algorithms subsystem)
+# ----------------------------------------------------------------------
+def module_imports(source: str, module: str) -> Set[str]:
+    """Module names a source text imports (absolute and relative,
+    top-level and function-local alike), as candidate names — callers
+    intersect with the real module index."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return set()
+    package = module.rsplit(".", 1)[0] if "." in module else module
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = package.split(".")
+                if node.level > 1:
+                    parts = parts[: len(parts) - (node.level - 1)]
+                base = ".".join(parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if base:
+                found.add(base)
+                # ``from pkg import mod`` names submodules, not attrs;
+                # keep both candidates and let the index filter.
+                for alias in node.names:
+                    found.add(f"{base}.{alias.name}")
+    return found
+
+
+def import_closure(
+    start: str,
+    sources: Mapping[str, str],
+    *,
+    barriers: Iterable[str] = (),
+) -> Set[str]:
+    """Transitive import closure of ``start`` restricted to the modules
+    in ``sources``.  ``barriers`` are included when reached but never
+    expanded through (the registry pattern).  Pure over the given
+    mapping, so tests drive it with synthetic packages."""
+    barriers = set(barriers)
+    seen: Set[str] = set()
+    frontier = [start]
+    while frontier:
+        mod = frontier.pop()
+        if mod in seen or mod not in sources:
+            continue
+        seen.add(mod)
+        if mod in barriers:
+            continue
+        for cand in module_imports(sources[mod], mod):
+            if cand in sources and cand not in seen:
+                frontier.append(cand)
+    return seen
+
+
+def _algorithm_module(algorithm: str) -> Optional[str]:
+    """The module defining an algorithm, or None when it cannot be
+    pinned to one inside the algorithms subsystem."""
+    if ":" in algorithm:
+        # Dotted-path cells (tests' fault injectors); only repro-internal
+        # paths get fine granularity.
+        module = algorithm.split(":", 1)[0]
+        return module if module in module_index() else None
+    try:
+        from repro.core.registry import get_factory
+
+        factory = get_factory(algorithm)
+    except KeyError:
+        return None
+    module = getattr(factory, "__module__", None)
+    if not isinstance(factory, type):
+        # Lambda factories live in the registry module; the instance's
+        # class names the real implementation module.
+        try:
+            module = type(factory()).__module__
+        except Exception:  # pragma: no cover - exotic factory
+            pass
+    return module if module and module in module_index() else None
+
+
+def algorithm_salt(algorithm: str) -> str:
+    """Salt covering exactly the code one algorithm's cells execute
+    inside the algorithms subsystem: the defining module's import
+    closure (restricted to ``repro.core.* + repro.advice.*``) plus the
+    registry barrier modules.  Algorithms that cannot be pinned to a
+    module fall back to the whole-subsystem salt — always correct, just
+    coarser."""
+    salt = _ALGORITHM_SALTS.get(algorithm)
+    if salt is not None:
+        return salt
+    module = _algorithm_module(algorithm)
+    if module is None or subsystem_of(module) != "algorithms":
+        salt = subsystem_salt("algorithms")
+    else:
+        index = module_index()
+        algo_sources = {
+            m: index[m].read_text(encoding="utf-8")
+            for m in subsystem_modules("algorithms")
+        }
+        members = import_closure(
+            module, algo_sources, barriers=ALGORITHM_BARRIER_MODULES
+        )
+        members.update(
+            b for b in ALGORITHM_BARRIER_MODULES if b in algo_sources
+        )
+        salt = _fold((m, module_digest(m)) for m in sorted(members))
+    _ALGORITHM_SALTS[algorithm] = salt
+    return salt
+
+
+def cell_salt_vector(algorithm: str) -> Dict[str, str]:
+    """The salts one sweep cell's cache key depends on."""
+    return {
+        "engine": subsystem_salt("engine"),
+        "graphs": subsystem_salt("graphs"),
+        "algorithms": algorithm_salt(algorithm),
+    }
+
+
+def replay_salt_vector() -> Dict[str, str]:
+    """The salts a check replay artifact depends on."""
+    return {
+        "engine": subsystem_salt("engine"),
+        "check": subsystem_salt("check"),
+    }

@@ -1,0 +1,295 @@
+"""Execution backends (`repro.experiments.backends`).
+
+The backend contract PR-9 introduced:
+
+* **conformance** — serial, fork-pool, and work-stealing backends
+  produce bit-identical sweep rows at any worker count;
+* **scheduling is plumbing** — `plan_batches` enforces the MIN_CHUNK
+  IPC floor, `batch_weight` orders largest-`n` first, and neither may
+  reorder the executor's *output* (outcomes stay in input order);
+* **fault isolation** — a worker SIGKILL under the stealing backend
+  becomes a structured crashed-cell record while every other cell
+  completes;
+* **migration** — legacy (pre-salt-vector) cache envelopes are
+  classified stale, re-executed transparently, and produce identical
+  rows; `purge --stale` removes exactly them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.backends import (
+    BACKENDS,
+    MIN_CHUNK,
+    batch_weight,
+    plan_batches,
+)
+from repro.experiments.parallel import (
+    CellSpec,
+    ParallelSweepExecutor,
+    cell_cache_report,
+    classify_cell_envelope,
+)
+from repro.experiments.sweeps import sweep_cells
+
+HERE = "tests.test_backends"
+GOOD = "flooding"
+
+
+def _cells(trials: int = 2):
+    return sweep_cells(
+        GOOD,
+        {"kind": "er_single_wake", "avg_degree": 4.0, "seed": 3},
+        sizes=[16, 24],
+        engine="async",
+        knowledge="KT0",
+        bandwidth="CONGEST",
+        trials=trials,
+        seed=3,
+        delay={"kind": "uniform", "seed": 3},
+    )
+
+
+def _fault_cell(algorithm, n=12, **kw):
+    return CellSpec(
+        algorithm=algorithm,
+        n=n,
+        seed=1,
+        engine="async",
+        knowledge="KT0",
+        bandwidth="CONGEST",
+        workload={"kind": "er_single_wake", "avg_degree": 3.0, "seed": 1},
+        **kw,
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch planning
+# ----------------------------------------------------------------------
+class TestPlanBatches:
+    MISSES = [(i, f"spec{i}", f"key{i}") for i in range(8)]
+
+    def test_empty(self):
+        assert plan_batches([], 4) == []
+
+    def test_explicit_chunk_size_wins(self):
+        batches = plan_batches(self.MISSES, 4, chunk_size=1)
+        assert [len(b) for b in batches] == [1] * 8
+
+    def test_small_sweep_floor_caps_at_fair_share(self):
+        # 8 misses / 4 workers: the MIN_CHUNK floor would starve two
+        # workers, so it caps at ceil(8/4)=2 — every worker gets work.
+        batches = plan_batches(self.MISSES, 4)
+        assert [len(b) for b in batches] == [2, 2, 2, 2]
+
+    def test_min_chunk_floor_applies(self):
+        # 16 misses / 4 workers: balanced chunk would be 1 (a future
+        # per cell); the floor lifts it to MIN_CHUNK.
+        misses = [(i, None, str(i)) for i in range(16)]
+        batches = plan_batches(misses, 4)
+        assert all(len(b) == MIN_CHUNK for b in batches)
+
+    def test_large_sweep_targets_four_batches_per_worker(self):
+        misses = [(i, None, str(i)) for i in range(96)]
+        batches = plan_batches(misses, 2)
+        assert [len(b) for b in batches] == [12] * 8
+
+    def test_batches_are_contiguous_slices(self):
+        batches = plan_batches(self.MISSES, 4)
+        assert [m for b in batches for m in b] == self.MISSES
+
+
+class TestBatchWeight:
+    def test_largest_cell_dominates(self):
+        small = [_fault_cell(GOOD, n=16), _fault_cell(GOOD, n=16, trial=1)]
+        big = [_fault_cell(GOOD, n=512)]
+        assert batch_weight(big) > batch_weight(small)
+
+    def test_ties_break_toward_more_cells(self):
+        one = [_fault_cell(GOOD, n=32)]
+        two = [_fault_cell(GOOD, n=32), _fault_cell(GOOD, n=32, trial=1)]
+        assert batch_weight(two) > batch_weight(one)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_known_backends(self):
+        assert set(BACKENDS) == {"serial", "fork", "steal"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown execution backend"):
+            ParallelSweepExecutor(backend="threads")
+
+    def test_sweep_start_event_names_backend(self):
+        from repro.obs.recorder import MemoryRecorder
+
+        rec = MemoryRecorder()
+        ParallelSweepExecutor(
+            workers=0, use_cache=False, backend="serial", recorder=rec
+        ).run(_cells(trials=1))
+        (start,) = rec.of_kind("sweep_start")
+        assert start["backend"] == "serial"
+
+
+# ----------------------------------------------------------------------
+# Cross-backend conformance: rows must be bit-identical
+# ----------------------------------------------------------------------
+class TestConformance:
+    def test_rows_identical_across_backends_and_workers(self):
+        cells = _cells()
+        baseline = [
+            o.record()
+            for o in ParallelSweepExecutor(
+                workers=0, use_cache=False, backend="serial"
+            ).run(cells)
+        ]
+        for backend in ("serial", "fork", "steal"):
+            for workers in (0, 4):
+                out = ParallelSweepExecutor(
+                    workers=workers, use_cache=False, backend=backend
+                ).run(cells)
+                rows = [o.record() for o in out]
+                assert rows == baseline, (
+                    f"rows diverged under backend={backend} "
+                    f"workers={workers}"
+                )
+
+    def test_outcomes_stay_in_input_order_despite_lpt(self):
+        # Stealing runs the largest batch first; outcomes must still
+        # come back in submission order.
+        cells = [
+            _fault_cell(GOOD, n=12),
+            _fault_cell(GOOD, n=48),
+            _fault_cell(GOOD, n=12, trial=1),
+        ]
+        out = ParallelSweepExecutor(
+            workers=2, use_cache=False, backend="steal", chunk_size=1
+        ).run(cells)
+        assert [(o.spec.n, o.spec.trial) for o in out] == [
+            (12, 0), (48, 0), (12, 1)
+        ]
+        assert all(o.ok for o in out)
+
+
+# ----------------------------------------------------------------------
+# Fault isolation under the stealing backend
+# ----------------------------------------------------------------------
+class TestStealFaults:
+    def test_worker_kill_is_isolated_and_retried(self):
+        cells = [
+            _fault_cell(GOOD),
+            _fault_cell(f"{HERE}:KillerAlgo"),
+            _fault_cell(GOOD, trial=1),
+            _fault_cell(GOOD, trial=2),
+        ]
+        out = ParallelSweepExecutor(
+            workers=2, use_cache=False, backend="steal", retries=1
+        ).run(cells)
+        by_algo = {o.spec.algorithm: o for o in out}
+        crashed = by_algo[f"{HERE}:KillerAlgo"]
+        assert crashed.status == "crashed"
+        good = [o for o in out if o.spec.algorithm == GOOD]
+        assert len(good) == 3 and all(o.ok for o in good)
+
+    def test_wakeup_failure_is_structured_not_crash(self):
+        out = ParallelSweepExecutor(
+            workers=2, use_cache=False, backend="steal"
+        ).run([_fault_cell(GOOD), _fault_cell(f"{HERE}:SilentAlgo")])
+        assert [o.status for o in out] == ["ok", "failed"]
+        assert "never woke up" in out[1].error
+
+
+# KillerAlgo/SilentAlgo live in tests.test_parallel_executor; re-export
+# them under this module's dotted path so fork workers resolve them.
+from tests.test_parallel_executor import KillerAlgo, SilentAlgo  # noqa: E402,F401
+
+
+# ----------------------------------------------------------------------
+# Legacy envelope migration
+# ----------------------------------------------------------------------
+class TestEnvelopeMigration:
+    def _executor(self, tmp_path, **kw):
+        return ParallelSweepExecutor(
+            workers=0,
+            cache_dir=tmp_path / "cells",
+            topology_dir=tmp_path / "topo",
+            **kw,
+        )
+
+    def _downgrade(self, cache_dir):
+        """Rewrite every envelope to the pre-PR-9 v1 shape (global
+        CODE_SALT baked into the key, no salt vector)."""
+        paths = list(cache_dir.rglob("*.json"))
+        for path in paths:
+            data = json.loads(path.read_text())
+            path.write_text(
+                json.dumps(
+                    {
+                        "key": data["key"],
+                        "salt": "repro-cells-v1",
+                        "payload": data["payload"],
+                    }
+                )
+            )
+        return paths
+
+    def test_legacy_envelopes_are_stale_and_reexecuted(self, tmp_path):
+        cells = _cells(trials=1)
+        cold = self._executor(tmp_path)
+        rows = [o.record() for o in cold.run(cells)]
+        assert cold.stats["executed"] == len(cells)
+
+        paths = self._downgrade(cold.cache_dir)
+        assert paths, "cold run cached nothing"
+        for path in paths:
+            assert classify_cell_envelope(path) == ("stale", "legacy")
+        report = cell_cache_report(cold.cache_dir)
+        assert report["live"] == 0
+        assert report["stale_by"] == {"legacy": len(paths)}
+
+        # A legacy envelope is a miss, not an error: cells re-execute
+        # and the rows come out identical.
+        warm = self._executor(tmp_path)
+        rows_again = [o.record() for o in warm.run(cells)]
+        assert warm.stats["executed"] == len(cells)
+        assert rows_again == rows
+
+        # ...and the rewrite healed the cache.
+        healed = cell_cache_report(cold.cache_dir)
+        assert healed["live"] == len(paths)
+        assert healed["stale"] == 0
+
+    def test_purge_stale_keeps_live_entries(self, tmp_path):
+        cells = _cells(trials=1)
+        ex = self._executor(tmp_path)
+        ex.run(cells)
+        # Downgrade one envelope, leave the rest live.
+        victim = next(iter(ex.cache_dir.rglob("*.json")))
+        data = json.loads(victim.read_text())
+        victim.write_text(
+            json.dumps({"key": data["key"], "payload": data["payload"]})
+        )
+        assert ex.purge_cache(stale_only=True) == 1
+        report = cell_cache_report(ex.cache_dir)
+        assert report["stale"] == 0
+        assert report["live"] == len(cells) - 1
+
+    def test_mismatched_salt_names_component(self, tmp_path):
+        cells = _cells(trials=1)
+        ex = self._executor(tmp_path)
+        ex.run(cells)
+        victim = next(iter(ex.cache_dir.rglob("*.json")))
+        data = json.loads(victim.read_text())
+        data["salts"]["engine"] = "0" * 16
+        data["salts"]["algorithms"] = "0" * 16
+        victim.write_text(json.dumps(data))
+        assert classify_cell_envelope(victim) == (
+            "stale",
+            "algorithms+engine",
+        )
