@@ -18,9 +18,14 @@ Subcommands:
 * ``worstcase`` — greedy + beam search for the worst schedule at sizes
   exhaustion cannot reach; reports the empirical adversarial frontier
   against a random-delay baseline and saves a replay artifact;
+* ``atlas``   — stochastic adversary optimizers (CEM / simulated
+  annealing / population search) over executor cells, merged
+  best-wins into the committed adversarial frontier ``ATLAS.json``:
+  ``run`` / ``show`` / ``check`` (structure + salts + plain-engine
+  replayability);
 * ``cache``   — inspect or purge the on-disk runtime caches (the cell
-  result cache, the compiled-topology artifact store, and the
-  schedule-replay artifacts);
+  result cache, the compiled-topology artifact store, the
+  schedule-replay artifacts, and the atlas replay artifacts);
 * ``metrics`` — render a metrics snapshot file (written by
   ``--metrics``) as JSON or Prometheus text exposition format;
 * ``top``     — the metrics dashboard (executor throughput, cache
@@ -260,11 +265,13 @@ def _cmd_cache(args) -> int:
     from pathlib import Path
 
     from repro.experiments.parallel import cell_cache_report
+    from repro.opt import atlas_artifact_report, purge_atlas_artifacts
     from repro.versioning import salt_vector
 
     cache_dir = Path(args.cache_dir)
     store = TopologyStore(args.topology_dir)
     replay_dir = Path(args.replay_dir)
+    atlas_dir = Path(args.atlas_dir)
     if args.action == "info":
         cell_bytes = (
             sum(p.stat().st_size for p in cache_dir.rglob("*.json"))
@@ -279,6 +286,12 @@ def _cmd_cache(args) -> int:
             else []
         )
         replay_report = _replay_staleness(replay_dir)
+        atlas_files = (
+            sorted(atlas_dir.glob("*.json"))
+            if atlas_dir.is_dir()
+            else []
+        )
+        atlas_report = atlas_artifact_report(atlas_dir)
         print(
             render_table(
                 [
@@ -307,6 +320,17 @@ def _cmd_cache(args) -> int:
                         "stale": replay_report["stale"],
                         "bytes": sum(p.stat().st_size for p in replays),
                     },
+                    {
+                        "cache": "atlas",
+                        "location": str(atlas_dir),
+                        "entries": atlas_report["count"],
+                        "live": atlas_report["count"]
+                        - atlas_report["stale"],
+                        "stale": atlas_report["stale"],
+                        "bytes": sum(
+                            p.stat().st_size for p in atlas_files
+                        ),
+                    },
                 ],
                 title="On-disk runtime caches",
             )
@@ -334,6 +358,7 @@ def _cmd_cache(args) -> int:
     # action == "purge"
     stale_only = bool(getattr(args, "stale", False))
     removed_cells = removed_topos = removed_replays = 0
+    removed_atlas = 0
     if args.what in ("cells", "all"):
         removed_cells = ParallelSweepExecutor(
             workers=0, cache_dir=cache_dir
@@ -355,11 +380,16 @@ def _cmd_cache(args) -> int:
                     pass  # unreadable counts as stale
             p.unlink()
             removed_replays += 1
+    if args.what in ("atlas", "all"):
+        removed_atlas = purge_atlas_artifacts(
+            atlas_dir, stale_only=stale_only
+        )
     what = "stale " if stale_only else ""
     print(
         f"purged {removed_cells} {what}cached cell(s), "
         f"{removed_topos} compiled topolog(y/ies), "
-        f"{removed_replays} replay artifact(s)"
+        f"{removed_replays} replay artifact(s), "
+        f"{removed_atlas} atlas replay artifact(s)"
     )
     return 0
 
@@ -723,6 +753,198 @@ def _cmd_worstcase(args) -> int:
         return 0
     finally:
         recorder.close()
+
+
+def _cmd_atlas(args) -> int:
+    if args.atlas_command == "run":
+        return _cmd_atlas_run(args)
+    if args.atlas_command == "show":
+        return _cmd_atlas_show(args)
+    return _cmd_atlas_check(args)
+
+
+def _cmd_atlas_run(args) -> int:
+    from repro.opt import (
+        OPTIMIZERS,
+        ChoicePrefixSpace,
+        DelayVectorSpace,
+        check_world_spec,
+        improve_atlas,
+        load_atlas,
+        save_atlas,
+    )
+
+    optimizers = tuple(
+        name for name in args.optimizers.split(",") if name
+    )
+    unknown = sorted(set(optimizers) - set(OPTIMIZERS))
+    if unknown:
+        print(
+            f"unknown optimizer(s) {unknown}; pick from "
+            f"{sorted(OPTIMIZERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    atlas = load_atlas(args.atlas)
+    executor = _make_executor(args)
+    rows = []
+    try:
+        for n in args.sizes:
+            base_spec = check_world_spec(
+                args.algorithm,
+                n,
+                graph=args.graph,
+                awake=args.awake,
+                stagger=args.stagger,
+                degree=args.degree,
+                seed=args.seed,
+            )
+            if args.genome == "choice-prefix":
+                space = ChoicePrefixSpace(
+                    horizon=args.horizon,
+                    branch_cap=args.branch_cap,
+                    laziness=args.laziness,
+                )
+            elif args.vector_length is not None:
+                space = DelayVectorSpace(length=args.vector_length)
+            else:
+                space = None  # improve_atlas sizes one to the spec
+            summary = improve_atlas(
+                atlas,
+                base_spec=base_spec,
+                objective=args.objective,
+                executor=executor,
+                optimizers=optimizers,
+                generations=args.generations,
+                population=args.population,
+                space=space,
+                baseline_trials=args.baseline_trials,
+                recorder=executor.recorder,
+                replay_dir=args.atlas_dir,
+            )
+            rows.append(summary)
+    finally:
+        executor.recorder.close()
+    path = save_atlas(atlas, args.atlas)
+    print(
+        render_table(
+            [
+                {
+                    "n": row["n"],
+                    "optimizer": row["optimizer"],
+                    "genome": row["genome_kind"],
+                    args.objective: round(row["score"], 6),
+                    "baseline": round(row["baseline"], 6),
+                    "beat": "yes" if row["beat_baseline"] else "no",
+                    "merge": row["merge"],
+                }
+                for row in rows
+            ],
+            title=(
+                f"Atlas run: {args.algorithm} on {args.graph} "
+                f"(objective {args.objective})"
+            ),
+        )
+    )
+    print(f"atlas: {path} ({len(atlas.get('entries', {}))} entries)")
+    if args.require_beat_baseline and not all(
+        row["beat_baseline"] for row in rows
+    ):
+        print(
+            "FAIL: an incumbent did not beat its random baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_atlas_show(args) -> int:
+    from repro.opt import entry_is_stale, load_atlas
+
+    atlas = load_atlas(args.atlas)
+    entries = atlas.get("entries", {})
+    if not entries:
+        print(f"atlas {args.atlas} is empty")
+        return 0
+    print(
+        render_table(
+            [
+                {
+                    "key": key,
+                    "optimizer": entry["optimizer"],
+                    "genome": entry["genome"]["kind"],
+                    "score": round(float(entry["score"]), 6),
+                    "baseline": round(float(entry["baseline"]), 6),
+                    "beat": (
+                        "yes"
+                        if float(entry["score"])
+                        > float(entry["baseline"])
+                        else "no"
+                    ),
+                    "salts": (
+                        "stale" if entry_is_stale(entry) else "live"
+                    ),
+                }
+                for key, entry in sorted(entries.items())
+            ],
+            title=f"Adversarial frontier atlas ({args.atlas})",
+        )
+    )
+    return 0
+
+
+def _cmd_atlas_check(args) -> int:
+    from repro.errors import ReproError
+    from repro.opt import (
+        check_atlas,
+        entry_is_stale,
+        load_atlas,
+        replay_entry,
+    )
+
+    try:
+        atlas = load_atlas(args.atlas)
+    except (ReproError, ValueError) as exc:
+        print(f"cannot load atlas {args.atlas}: {exc}", file=sys.stderr)
+        return 1
+    errors, stale = check_atlas(atlas)
+    for err in errors:
+        print(f"ERROR: {err}", file=sys.stderr)
+    replay_failures = 0
+    replayed = 0
+    if args.replay and not errors:
+        # Replay only live entries: a stale salt vector means the code
+        # changed under the entry, so bit-identity is not promised.
+        for key, entry in sorted(atlas.get("entries", {}).items()):
+            if entry_is_stale(entry):
+                continue
+            ok, detail = replay_entry(entry)
+            replayed += 1
+            if not ok:
+                replay_failures += 1
+                print(f"REPLAY FAILED: {key}: {detail}",
+                      file=sys.stderr)
+    total = len(atlas.get("entries", {}))
+    stale_note = f", {len(stale)} stale" if stale else ""
+    replay_note = (
+        f", {replayed} replayed bit-identically"
+        if args.replay and not replay_failures and not errors
+        else ""
+    )
+    if stale and not args.strict:
+        for key in stale:
+            print(f"stale (salts superseded): {key}")
+        print("hint: `repro atlas run` refreshes stale entries; "
+              "--strict turns stale into failure")
+    failed = bool(errors) or replay_failures > 0 or (
+        args.strict and bool(stale)
+    )
+    status = "FAIL" if failed else "OK"
+    print(
+        f"atlas check: {status} — {total} entr(y/ies)"
+        f"{stale_note}{replay_note}"
+    )
+    return 1 if failed else 0
 
 
 def _make_recorder(args):
@@ -1167,6 +1389,116 @@ def build_parser() -> argparse.ArgumentParser:
     _add_replay_dir_flag(p_wc)
     _add_telemetry_flags(p_wc)
 
+    p_atlas = sub.add_parser(
+        "atlas",
+        help="stochastic adversary search + the committed frontier "
+        "atlas (ATLAS.json)",
+        description=(
+            "Maintain the adversarial frontier atlas: run the "
+            "stochastic optimizers (repro.opt) against one workload "
+            "across sizes and merge the incumbents best-wins into "
+            "ATLAS.json; show the committed frontier; check the file's "
+            "structure, salts, and plain-engine replayability."
+        ),
+    )
+    atlas_sub = p_atlas.add_subparsers(
+        dest="atlas_command", required=True
+    )
+    p_atlas_run = atlas_sub.add_parser(
+        "run", help="search one workload and merge incumbents"
+    )
+    p_atlas_run.add_argument(
+        "algorithm", nargs="?", default="flooding",
+        choices=algorithm_names(),
+    )
+    p_atlas_run.add_argument(
+        "--graph", choices=_CHECK_GRAPHS, default="star",
+        help="check-world graph family (default: %(default)s)",
+    )
+    p_atlas_run.add_argument("--awake", type=int, default=1)
+    p_atlas_run.add_argument("--stagger", type=float, default=0.0)
+    p_atlas_run.add_argument("--degree", type=float, default=3.0)
+    p_atlas_run.add_argument(
+        "--sizes", type=int, nargs="+", default=[64],
+        help="network sizes to improve (default: %(default)s)",
+    )
+    p_atlas_run.add_argument(
+        "--objective",
+        choices=("time", "messages", "bits"),
+        default="time",
+    )
+    p_atlas_run.add_argument(
+        "--optimizers", default="cem,sa",
+        help="comma list of optimizers: cem, sa, pop "
+        "(default: %(default)s)",
+    )
+    p_atlas_run.add_argument("--generations", type=int, default=8)
+    p_atlas_run.add_argument("--population", type=int, default=16)
+    p_atlas_run.add_argument(
+        "--baseline-trials", type=int, default=32,
+        help="random-delay baseline sample count (default: 32)",
+    )
+    p_atlas_run.add_argument(
+        "--genome",
+        choices=("delay-vector", "choice-prefix"),
+        default="delay-vector",
+        help="genome parameterization: delay-vector scales to "
+        "hundreds of vertices, choice-prefix drives the controlled "
+        "scheduler exactly at small n (default: %(default)s)",
+    )
+    p_atlas_run.add_argument(
+        "--vector-length", type=int, default=None,
+        help="delay-vector genome length (default: sized to n)",
+    )
+    p_atlas_run.add_argument(
+        "--horizon", type=int, default=16,
+        help="choice-prefix genome length (default: %(default)s)",
+    )
+    p_atlas_run.add_argument("--branch-cap", type=int, default=4)
+    p_atlas_run.add_argument(
+        "--laziness", type=float, default=0.0,
+        help="choice-prefix delivery-time laziness (default: 0.0)",
+    )
+    p_atlas_run.add_argument("--seed", type=int, default=0)
+    p_atlas_run.add_argument(
+        "--atlas", default="ATLAS.json",
+        help="atlas file to merge into (default: %(default)s)",
+    )
+    p_atlas_run.add_argument(
+        "--require-beat-baseline",
+        action="store_true",
+        help="exit 1 unless every incumbent strictly beats its "
+        "random-delay baseline (CI gate)",
+    )
+    _add_atlas_dir_flag(p_atlas_run)
+    _add_executor_flags(p_atlas_run)
+    p_atlas_show = atlas_sub.add_parser(
+        "show", help="print the committed frontier"
+    )
+    p_atlas_show.add_argument(
+        "--atlas", default="ATLAS.json",
+        help="atlas file (default: %(default)s)",
+    )
+    p_atlas_check = atlas_sub.add_parser(
+        "check", help="validate structure, salts, and replayability"
+    )
+    p_atlas_check.add_argument(
+        "--atlas", default="ATLAS.json",
+        help="atlas file (default: %(default)s)",
+    )
+    p_atlas_check.add_argument(
+        "--replay",
+        action="store_true",
+        help="re-execute every live entry through the plain engine "
+        "and require bit-identical scalars",
+    )
+    p_atlas_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat stale entries (salt vector superseded by code "
+        "edits) as failures instead of warnings",
+    )
+
     p_cache = sub.add_parser(
         "cache", help="inspect / purge the on-disk runtime caches"
     )
@@ -1178,7 +1510,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument(
         "what",
         nargs="?",
-        choices=("cells", "topologies", "replays", "all"),
+        choices=("cells", "topologies", "replays", "atlas", "all"),
         default="all",
         help="which cache to purge (default: all; ignored by info)",
     )
@@ -1202,6 +1534,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_replay_dir_flag(p_cache)
+    _add_atlas_dir_flag(p_cache)
 
     p_metrics = sub.add_parser(
         "metrics", help="render a metrics snapshot file"
@@ -1400,6 +1733,16 @@ def _add_replay_dir_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_atlas_dir_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.opt.atlas import DEFAULT_ATLAS_REPLAY_DIR
+
+    parser.add_argument(
+        "--atlas-dir",
+        default=str(DEFAULT_ATLAS_REPLAY_DIR),
+        help="atlas replay artifact dir (default: results/.atlas)",
+    )
+
+
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     """The ParallelSweepExecutor knobs, shared by cell-based commands."""
     parser.add_argument(
@@ -1502,6 +1845,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "check": _cmd_check,
         "worstcase": _cmd_worstcase,
+        "atlas": _cmd_atlas,
         "cache": _cmd_cache,
         "metrics": _cmd_metrics,
         "top": _cmd_top,

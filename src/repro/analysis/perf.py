@@ -105,6 +105,21 @@ PROFILES: Dict[str, Dict[str, Any]] = {
             "warm_speedup",
         ),
     },
+    "opt": {
+        "baseline": "BENCH_opt.json",
+        "bench": "benchmarks/bench_adversary_opt.py",
+        "key_fields": ("optimizer", "algorithm", "n"),
+        "metric": "evals_per_sec",
+        "unit": "evals/s",
+        "required_fields": (
+            "optimizer",
+            "algorithm",
+            "n",
+            "evaluations",
+            "wall_s",
+            "evals_per_sec",
+        ),
+    },
     "executor": {
         "baseline": "BENCH_executor.json",
         "bench": "benchmarks/bench_executor_scaling.py",

@@ -40,6 +40,7 @@ from repro.check.worstcase import (
     GREEDY_POLICIES,
     PolicyController,
     WorstCaseResult,
+    baseline_trial_specs,
     random_baseline,
     worstcase_search,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "GREEDY_POLICIES",
     "PolicyController",
     "WorstCaseResult",
+    "baseline_trial_specs",
     "random_baseline",
     "worstcase_search",
 ]

@@ -279,12 +279,38 @@ def worstcase_search(
     return out
 
 
+def baseline_trial_specs(base_spec, *, trials: int = 32, seed: int = 0):
+    """The ``trials`` CellSpecs one random baseline decomposes into.
+
+    Each trial pins the delay spec to the serial path's
+    ``UniformRandomDelay(seed=seed + t)`` (default ``lo``) and the
+    execution seed to the serial path's ``run_wakeup(seed=seed)``, so a
+    cell built from a faithful ``base_spec`` reproduces the serial
+    trial bit-exactly.  Exposed separately so callers (the atlas CLI,
+    benches) can count or pre-warm baseline cells.
+    """
+    from dataclasses import replace
+
+    return [
+        replace(
+            base_spec,
+            trial=t,
+            delay={"kind": "uniform", "seed": seed + t, "lo": 0.05},
+            exec_seed=seed,
+            require_all_awake=False,
+        )
+        for t in range(trials)
+    ]
+
+
 def random_baseline(
     world,
     objective: str = "time",
     *,
     trials: int = 32,
     seed: int = 0,
+    executor=None,
+    base_spec=None,
 ) -> float:
     """Best score a plain UniformRandomDelay sweep finds.
 
@@ -292,7 +318,35 @@ def random_baseline(
     adversary must meet or beat the best of ``trials`` random-delay
     samples on the same workload (asserted by the worst-case tests and
     reported next to the frontier in the lower-bound benches).
+
+    When ``executor`` (a
+    :class:`~repro.experiments.parallel.ParallelSweepExecutor`) and
+    ``base_spec`` (a :class:`~repro.experiments.parallel.CellSpec`
+    describing the same world ``world`` builds — workload, schedule,
+    knowledge, bandwidth, ``setup_seed``) are both given, the trials
+    run as executor cells instead of a serial loop: parallel across
+    workers, cached on disk, and bit-identical to the serial path
+    because each cell rebuilds the identical world and runs the same
+    ``(setup_seed, exec_seed, delay-seed)`` triple
+    (:func:`baseline_trial_specs`; conformance-tested in
+    ``tests/test_opt_evaluate.py``).  ``world`` may then be ``None``.
     """
+    if executor is not None or base_spec is not None:
+        if executor is None or base_spec is None:
+            raise SimulationError(
+                "random_baseline needs both executor and base_spec, "
+                "or neither"
+            )
+        best = float("-inf")
+        specs = baseline_trial_specs(base_spec, trials=trials, seed=seed)
+        for out in executor.run(specs):
+            if out.result is None:
+                raise SimulationError(
+                    f"random baseline cell {out.key[:12]} failed: "
+                    f"{out.error}"
+                )
+            best = max(best, _score(objective, out.result))
+        return best
     best = float("-inf")
     for t in range(trials):
         setup, algorithm, adversary = world()

@@ -139,6 +139,14 @@ class CellSpec:
     # does not perturb the execution, but the knob is part of the cache
     # key like any other spec field.
     flight_recorder: Optional[int] = None
+    # Controlled nondeterminism: a controller spec with a "kind"
+    # discriminator (currently ``{"kind": "replay", "choices": [...],
+    # "laziness": ...}`` -> :class:`repro.check.controller
+    # .ReplayController`), resolved by :func:`_build_controller`.
+    # Async engine only.  A controlled cell executes the check
+    # subsystem's scheduling loop, so its cache key folds the check
+    # salt in on top of the usual cell salts (see :func:`_cell_salts`).
+    controller: Optional[Dict[str, Any]] = None
 
     @property
     def run_seed(self) -> int:
@@ -157,16 +165,33 @@ class CellSpec:
         return asdict(self)
 
 
+def _cell_salts(spec: CellSpec) -> Dict[str, str]:
+    """The salt vector one cell's key and cache envelope carry.
+
+    Plain cells depend on engine + graphs + the algorithm's import
+    closure.  Controlled cells additionally execute the check
+    subsystem's scheduling loop (:mod:`repro.check.controller`), so
+    the check salt joins the key — a controller edit re-executes
+    controlled cells and leaves ordinary sweep cells warm."""
+    salts = cell_salt_vector(spec.algorithm)
+    if spec.controller is not None or spec.delay.get("kind") == "replay":
+        from repro.versioning import subsystem_salt
+
+        salts["check"] = subsystem_salt("check")
+    return salts
+
+
 def cell_key(spec: CellSpec) -> str:
     """Content hash identifying a cell: the full spec plus the salts
     its execution depends on (engine + graphs + the algorithm's
-    import-closure salt — :func:`repro.versioning.cell_salt_vector`),
-    canonically serialized.  Any differing input — seed, size,
-    algorithm parameter, adversary knob — yields a different key, and
-    so does any code edit that can reach this cell's execution; code
-    edits elsewhere leave the key (and the cached row) untouched."""
+    import-closure salt — :func:`repro.versioning.cell_salt_vector` —
+    plus the check salt for controlled cells), canonically
+    serialized.  Any differing input — seed, size, algorithm
+    parameter, adversary knob — yields a different key, and so does
+    any code edit that can reach this cell's execution; code edits
+    elsewhere leave the key (and the cached row) untouched."""
     blob = json.dumps(
-        {"salts": cell_salt_vector(spec.algorithm), "spec": spec.as_dict()},
+        {"salts": _cell_salts(spec), "spec": spec.as_dict()},
         sort_keys=True,
         separators=(",", ":"),
         default=repr,
@@ -189,7 +214,12 @@ def _build_algorithm(name: str, params: Dict[str, Any]):
 
 
 def _build_delay(spec: Dict[str, Any]):
-    from repro.sim.adversary import PerEdgeDelay, UniformRandomDelay, UnitDelay
+    from repro.sim.adversary import (
+        PerEdgeDelay,
+        UniformRandomDelay,
+        UnitDelay,
+        VectorDelay,
+    )
 
     kind = spec.get("kind", "unit")
     if kind == "unit":
@@ -200,6 +230,16 @@ def _build_delay(spec: Dict[str, Any]):
         )
     if kind == "per_edge":
         return PerEdgeDelay(seed=spec.get("seed", 0), lo=spec.get("lo", 0.1))
+    if kind == "vector":
+        return VectorDelay(spec["values"])
+    if kind == "replay":
+        # A controlled run's recorded per-seq delay map, fed back
+        # through the plain engine (atlas incumbents replay this way).
+        from repro.check.controller import ReplayDelay
+
+        return ReplayDelay(
+            {int(k): float(v) for k, v in spec["delays"].items()}
+        )
     raise ReproError(f"unknown delay kind {kind!r}")
 
 
@@ -216,7 +256,27 @@ def _build_schedule(spec: Dict[str, Any], graph, awake):
             seed=spec.get("seed", 0),
             time=spec.get("time", 0.0),
         )
+    if kind == "staggered":
+        # Wake the workload's awake set one at a time, ``stagger``
+        # apart, in workload order (compiled topologies preserve it) —
+        # the spec form of repro.check.worlds' staggered check worlds.
+        return WakeSchedule.sequential(
+            list(awake), spec.get("stagger", 0.0)
+        )
     raise ReproError(f"unknown schedule kind {kind!r}")
+
+
+def _build_controller(spec: Dict[str, Any]):
+    from repro.check.controller import ReplayController
+
+    kind = spec.get("kind", "replay")
+    if kind == "replay":
+        return ReplayController(
+            spec.get("choices", ()),
+            strict=spec.get("strict", False),
+            laziness=spec.get("laziness", 0.0),
+        )
+    raise ReproError(f"unknown controller kind {kind!r}")
 
 
 class _CellTimeout(Exception):
@@ -273,6 +333,11 @@ def _execute_cell(
         trace = Trace(maxlen=spec.flight_recorder)
         if scratch is not None:
             scratch["trace"] = trace
+    controller = (
+        _build_controller(spec.controller)
+        if spec.controller is not None
+        else None
+    )
     result = run_wakeup(
         setup,
         _build_algorithm(spec.algorithm, spec.algo_params),
@@ -282,6 +347,7 @@ def _execute_cell(
         require_all_awake=spec.require_all_awake,
         max_events=spec.max_events,
         trace=trace,
+        controller=controller,
     )
     return {
         "rho_awk": topo.rho_awk,
@@ -939,7 +1005,7 @@ class ParallelSweepExecutor:
                     "schema": CACHE_SCHEMA,
                     "key": key,
                     "algorithm": spec.algorithm,
-                    "salts": cell_salt_vector(spec.algorithm),
+                    "salts": _cell_salts(spec),
                     "payload": payload,
                 },
                 sort_keys=True,
@@ -990,6 +1056,11 @@ def classify_cell_envelope(path: Union[str, Path]) -> Tuple[str, str]:
     if not isinstance(salts, dict) or not isinstance(algorithm, str):
         return "stale", "legacy"
     current = cell_salt_vector(algorithm)
+    if "check" in salts:
+        # Controlled-cell envelope: the key folded the check salt too.
+        from repro.versioning import subsystem_salt
+
+        current["check"] = subsystem_salt("check")
     mismatched = sorted(
         name for name, salt in current.items() if salts.get(name) != salt
     )

@@ -277,6 +277,54 @@ def er_shared_wake(
     return build
 
 
+def check_world(
+    graph: str = "cycle",
+    awake: int = 1,
+    degree: float = 3.0,
+    seed: int = 0,
+) -> Workload:
+    """The named small topologies of :mod:`repro.check.worlds` as a
+    spec-able workload: identical graph constructors and the identical
+    ordered woken sample, so adversary-optimizer and baseline cells
+    evaluate exactly the worlds the checker explores.  A staggered wake
+    belongs in the cell's *schedule* spec (``{"kind": "staggered",
+    "stagger": s}``) — compiled topologies preserve awake order, so the
+    sequential schedule rebuilds the checker's ``{v: i*stagger}`` map.
+    """
+    from repro.graphs.generators import (
+        complete_graph,
+        connected_erdos_renyi,
+        cycle_graph,
+        path_graph,
+        star_graph,
+    )
+
+    named = {
+        "complete": complete_graph,
+        "path": path_graph,
+        "cycle": cycle_graph,
+        "star": star_graph,
+    }
+    if graph != "er" and graph not in named:
+        raise ReproError(
+            f"unknown check graph {graph!r}; "
+            f"known: {('er', *sorted(named))}"
+        )
+
+    def build(n: int):
+        if graph == "er":
+            g = connected_erdos_renyi(n, degree / max(1, n - 1), seed=seed)
+        else:
+            g = named[graph](n)
+        rng = random.Random(seed + 1)
+        woken = rng.sample(
+            sorted(g.vertices(), key=repr), max(1, min(awake, n))
+        )
+        return g, woken
+
+    return build
+
+
 # ----------------------------------------------------------------------
 # Spec-based sweeps (parallel executor path)
 # ----------------------------------------------------------------------
@@ -291,6 +339,7 @@ WORKLOADS: Dict[str, Callable[..., Workload]] = {
     "tree_random_wake": tree_random_wake,
     "er_shared_wake": er_shared_wake,
     "dkq_point_wake": dkq_point_wake,
+    "check_world": check_world,
 }
 
 

@@ -35,6 +35,9 @@ Event kinds
 ``check_stats``  one schedule-space exploration finished
                  (:func:`repro.check.explorer.explore` totals)
 ``worstcase_stats`` one worst-case schedule search finished
+``opt_generation`` one adversary-optimizer generation was evaluated
+                 (:func:`repro.opt.evaluate.optimize`; carries the
+                 generation's best and the running incumbent score)
 ``shrink_stats`` one counterexample was minimized
 ``metrics_snapshot`` a :class:`repro.obs.metrics.MetricsRegistry`
                  snapshot (counters/gauges/histograms sections),
@@ -84,6 +87,8 @@ EVENT_KINDS: Dict[str, tuple] = {
                     "completed"),
     "worstcase_stats": ("algorithm", "objective", "evaluations",
                         "best_score", "policy"),
+    "opt_generation": ("optimizer", "generation", "population", "best",
+                       "incumbent"),
     "shrink_stats": ("invariant", "tests", "from_len", "to_len",
                      "reduction"),
     "metrics_snapshot": ("counters", "gauges", "histograms"),

@@ -150,6 +150,22 @@ CATALOG: Dict[str, Dict[str, Any]] = {
         "type": "counter", "help": "Worst-case search evaluations."},
     "repro_shrink_iterations_total": {
         "type": "counter", "help": "Counterexample shrink test runs."},
+    # -- repro.opt (adversary optimizers + frontier atlas) -------------
+    "repro_opt_generations_total": {
+        "type": "counter",
+        "help": "Optimizer generations completed (labels: optimizer)."},
+    "repro_opt_evaluations_total": {
+        "type": "counter",
+        "help": "Candidate genomes scored, duplicates included "
+                "(labels: optimizer)."},
+    "repro_opt_best_score": {
+        "type": "gauge",
+        "help": "Running incumbent score of the last optimizer run "
+                "(labels: optimizer, objective)."},
+    "repro_opt_atlas_merges_total": {
+        "type": "counter",
+        "help": "Atlas merge outcomes (labels: "
+                "outcome=new|improved|kept)."},
     # -- repro.serve (the job daemon) ----------------------------------
     "repro_serve_jobs_total": {
         "type": "counter",

@@ -1,0 +1,263 @@
+"""Stochastic schedule optimizers behind one ask/tell protocol.
+
+Three search strategies over a :class:`~repro.opt.genomes.GenomeSpace`:
+
+* :class:`CrossEntropyMethod` — sample a population from a parametric
+  distribution, fit the distribution to the elite fraction, repeat.
+* :class:`SimulatedAnnealing` — independent Metropolis chains with a
+  geometric temperature schedule (several chains so one ``tell`` still
+  consumes a whole population of evaluations).
+* :class:`PopulationSearch` — tournament selection + crossover +
+  mutation with elitism.
+
+The ask/tell split keeps evaluation out of the optimizer entirely:
+``ask(count)`` proposes genomes, the caller scores them however it
+likes (here: as executor cells — :mod:`repro.opt.evaluate`), and
+``tell`` feeds the scores back.  Scores are **maximized** (the
+adversary wants the objective as high as possible); a ``None`` score
+marks a failed evaluation and is treated as ``-inf``.
+
+Every optimizer is deterministic under its ``seed``: all randomness
+flows through one ``random.Random``, and ``tell`` breaks score ties by
+ask-order so incumbents are stable across backends.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.opt.genomes import Genome, GenomeSpace
+
+NEG_INF = float("-inf")
+
+
+class Optimizer:
+    """Base ask/tell optimizer over one genome space."""
+
+    name = "?"
+
+    def __init__(self, space: GenomeSpace, seed: int = 0):
+        self.space = space
+        self.rng = random.Random(seed)
+        self.best_genome: Optional[Genome] = None
+        self.best_score: float = NEG_INF
+        self.generation = 0
+
+    def ask(self, count: int) -> List[Genome]:
+        """Propose ``count`` genomes to evaluate."""
+        raise NotImplementedError
+
+    def tell(
+        self, scored: Sequence[Tuple[Genome, Optional[float]]]
+    ) -> None:
+        """Feed back ``(genome, score)`` pairs from the last ask."""
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------
+    def _ranked(
+        self, scored: Sequence[Tuple[Genome, Optional[float]]]
+    ) -> List[Tuple[float, int, Genome]]:
+        """Scored pairs as ``(score, ask_index, genome)``, best first.
+        The ask index breaks ties deterministically."""
+        rows = [
+            (NEG_INF if s is None else float(s), i, g)
+            for i, (g, s) in enumerate(scored)
+        ]
+        rows.sort(key=lambda r: (-r[0], r[1]))
+        return rows
+
+    def _update_best(
+        self, ranked: Sequence[Tuple[float, int, Genome]]
+    ) -> None:
+        if ranked and ranked[0][0] > self.best_score:
+            self.best_score = ranked[0][0]
+            self.best_genome = ranked[0][2]
+        self.generation += 1
+
+
+class CrossEntropyMethod(Optimizer):
+    """CEM: fit the space's parametric model to the elite fraction."""
+
+    name = "cem"
+
+    def __init__(
+        self,
+        space: GenomeSpace,
+        seed: int = 0,
+        elite_frac: float = 0.25,
+    ):
+        super().__init__(space, seed)
+        if not 0 < elite_frac <= 1:
+            raise ReproError("elite_frac must be in (0, 1]")
+        self.elite_frac = elite_frac
+        self._params: Any = None
+
+    def ask(self, count: int) -> List[Genome]:
+        if self._params is None:
+            return [self.space.sample(self.rng) for _ in range(count)]
+        out = [
+            self.space.sample_fit(self._params, self.rng)
+            for _ in range(count - 1)
+        ]
+        # Keep the incumbent in every generation (elitism).
+        out.append(
+            self.best_genome
+            if self.best_genome is not None
+            else self.space.sample(self.rng)
+        )
+        return out
+
+    def tell(self, scored) -> None:
+        ranked = self._ranked(scored)
+        self._update_best(ranked)
+        survivors = [r for r in ranked if r[0] > NEG_INF]
+        if not survivors:
+            return  # resample from scratch next ask
+        n_elite = max(1, int(len(survivors) * self.elite_frac))
+        self._params = self.space.fit(
+            [g for _, _, g in survivors[:n_elite]]
+        )
+
+
+class SimulatedAnnealing(Optimizer):
+    """Parallel Metropolis chains over the genome space."""
+
+    name = "sa"
+
+    def __init__(
+        self,
+        space: GenomeSpace,
+        seed: int = 0,
+        chains: int = 4,
+        temperature: float = 1.0,
+        cooling: float = 0.9,
+    ):
+        super().__init__(space, seed)
+        if chains < 1:
+            raise ReproError("chains must be >= 1")
+        self.chains = chains
+        self.temperature = temperature
+        self.cooling = cooling
+        self._current: List[Tuple[Genome, float]] = []
+        self._proposal_chain: List[int] = []
+
+    def ask(self, count: int) -> List[Genome]:
+        if not self._current:
+            self._proposal_chain = list(range(count))
+            return [self.space.sample(self.rng) for _ in range(count)]
+        proposals: List[Genome] = []
+        self._proposal_chain = []
+        for i in range(count):
+            chain = i % len(self._current)
+            self._proposal_chain.append(chain)
+            proposals.append(
+                self.space.mutate(self._current[chain][0], self.rng)
+            )
+        return proposals
+
+    def tell(self, scored) -> None:
+        ranked = self._ranked(scored)
+        self._update_best(ranked)
+        scores = [
+            NEG_INF if s is None else float(s) for _, s in scored
+        ]
+        if not self._current or len(self._current) != self.chains:
+            # First generation: the best `chains` proposals seed the
+            # chains (falling back to resampling for failed slots).
+            seeds = [r for r in ranked if r[0] > NEG_INF][: self.chains]
+            while len(seeds) < self.chains:
+                seeds.append((NEG_INF, -1, self.space.sample(self.rng)))
+            self._current = [(g, s) for s, _, g in seeds]
+            return
+        for i, (genome, _) in enumerate(scored):
+            score = scores[i]
+            chain = self._proposal_chain[i]
+            cur_score = self._current[chain][1]
+            delta = score - cur_score
+            accept = delta >= 0 or (
+                score > NEG_INF
+                and self.temperature > 0
+                and self.rng.random() < math.exp(
+                    delta / self.temperature
+                )
+            )
+            if accept:
+                self._current[chain] = (genome, score)
+        self.temperature *= self.cooling
+
+
+class PopulationSearch(Optimizer):
+    """Genetic search: tournament parents, crossover, mutation,
+    elitism."""
+
+    name = "pop"
+
+    def __init__(
+        self,
+        space: GenomeSpace,
+        seed: int = 0,
+        tournament: int = 3,
+        crossover_rate: float = 0.7,
+        elite: int = 2,
+    ):
+        super().__init__(space, seed)
+        self.tournament = max(2, tournament)
+        self.crossover_rate = crossover_rate
+        self.elite = elite
+        self._pool: List[Tuple[Genome, float]] = []
+
+    def _pick_parent(self) -> Genome:
+        contenders = [
+            self._pool[self.rng.randrange(len(self._pool))]
+            for _ in range(min(self.tournament, len(self._pool)))
+        ]
+        return max(contenders, key=lambda t: t[1])[0]
+
+    def ask(self, count: int) -> List[Genome]:
+        if not self._pool:
+            return [self.space.sample(self.rng) for _ in range(count)]
+        out: List[Genome] = []
+        elites = [g for g, _ in self._pool[: self.elite]]
+        out.extend(elites[:count])
+        while len(out) < count:
+            if self.rng.random() < self.crossover_rate:
+                child = self.space.crossover(
+                    self._pick_parent(), self._pick_parent(), self.rng
+                )
+            else:
+                child = self._pick_parent()
+            out.append(self.space.mutate(child, self.rng))
+        return out
+
+    def tell(self, scored) -> None:
+        ranked = self._ranked(scored)
+        self._update_best(ranked)
+        survivors = [
+            (g, s) for s, _, g in ranked if s > NEG_INF
+        ]
+        if survivors:
+            self._pool = survivors
+
+
+#: name -> factory(space, seed, **knobs)
+OPTIMIZERS: Dict[str, Callable[..., Optimizer]] = {
+    "cem": CrossEntropyMethod,
+    "sa": SimulatedAnnealing,
+    "pop": PopulationSearch,
+}
+
+
+def make_optimizer(
+    name: str, space: GenomeSpace, seed: int = 0, **knobs: Any
+) -> Optimizer:
+    """Build one optimizer by registry name."""
+    try:
+        factory = OPTIMIZERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown optimizer {name!r}; known: {sorted(OPTIMIZERS)}"
+        ) from None
+    return factory(space, seed=seed, **knobs)

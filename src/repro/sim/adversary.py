@@ -235,6 +235,40 @@ class UniformRandomDelay(DelayStrategy):
         return self._lo + self._span * u
 
 
+class VectorDelay(DelayStrategy):
+    """Delays read from a fixed vector, indexed by global send order.
+
+    The ``seq``-th send (globally, across all edges) gets delay
+    ``values[seq % len(values)]`` — a pure function of the send index
+    and construction-time data, so the strategy is oblivious.  This is
+    the scalable genome the adversary optimizers tune: a vector of a
+    few hundred floats parameterizes a schedule at any n, and replaying
+    the same vector reproduces the execution bit-identically without
+    the controlled scheduler.  An all-ones vector coincides with
+    :class:`UnitDelay`.
+    """
+
+    def __init__(self, values: Sequence[float]):
+        if not values:
+            raise SimulationError("VectorDelay needs at least one value")
+        vals = []
+        for v in values:
+            v = float(v)
+            if not 0 < v <= 1 or not math.isfinite(v):
+                raise SimulationError(
+                    f"VectorDelay value {v!r} outside (0, 1]"
+                )
+            vals.append(v)
+        self._values = tuple(vals)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return self._values
+
+    def delay(self, src, dst, sent_at, seq):
+        return self._values[seq % len(self._values)]
+
+
 class PerEdgeDelay(DelayStrategy):
     """A fixed deterministic delay per directed edge, hashed from a seed.
 

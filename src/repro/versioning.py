@@ -33,6 +33,7 @@ cache                  salts in the key
 sweep cells            ``engine`` + ``graphs`` + per-algorithm
 compiled topologies    ``graphs``
 check replays          ``engine`` + ``check``
+atlas entries          cell salts (+ ``check`` when controlled)
 =====================  =============================================
 
 The ``harness`` subsystem (executors, CLI, serve daemon, telemetry) is
@@ -70,6 +71,12 @@ SUBSYSTEMS: Dict[str, Tuple[str, ...]] = {
     # Schedule-space exploration, worst-case search, replay artifacts;
     # lowerbounds feeds the class-G worlds the checker explores.
     "check": ("repro.check", "repro.lowerbounds"),
+    # Stochastic adversary optimizers + the frontier atlas.  Search
+    # strategy code *picks* candidates but never executes them, so this
+    # salt joins no cell cache key; atlas entries instead fold the
+    # salts of what the incumbent actually runs (see
+    # :func:`atlas_salt_vector`).
+    "opt": ("repro.opt",),
     # Orchestration: executors, CLI, serve daemon, observability,
     # analysis, notebooks.  Never part of a cache key.
     "harness": (
@@ -399,3 +406,21 @@ def replay_salt_vector() -> Dict[str, str]:
         "engine": subsystem_salt("engine"),
         "check": subsystem_salt("check"),
     }
+
+
+def atlas_salt_vector(algorithm: str, *, controlled: bool = False) -> Dict[str, str]:
+    """The salts a frontier-atlas entry depends on.
+
+    An atlas incumbent is a cell result: engine + graphs + the
+    algorithm's import closure decide its score.  Choice-prefix
+    incumbents additionally execute the controlled loop in
+    ``repro.check``, so ``controlled=True`` folds the check salt in.
+    The ``opt`` salt is deliberately absent: optimizers choose which
+    schedules to *try*, but an entry records only what a schedule
+    *scored* — re-tuning the search must never stale a frontier the
+    executor can still reproduce bit-identically.
+    """
+    salts = cell_salt_vector(algorithm)
+    if controlled:
+        salts["check"] = subsystem_salt("check")
+    return salts

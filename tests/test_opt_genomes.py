@@ -1,0 +1,140 @@
+"""Genome protocol and space laws (repro.opt.genomes)."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.opt.genomes import (
+    DEFAULT_LO,
+    ChoicePrefixGenome,
+    ChoicePrefixSpace,
+    DelayVectorGenome,
+    DelayVectorSpace,
+    genome_from_dict,
+)
+
+
+class TestGenomeProtocol:
+    def test_delay_vector_round_trip(self):
+        g = DelayVectorGenome((0.25, 1.0, 0.5))
+        back = genome_from_dict(g.as_dict())
+        assert back == g
+        assert back.key() == g.key()
+
+    def test_choice_prefix_round_trip(self):
+        g = ChoicePrefixGenome((0, 2, 1), laziness=1.0)
+        back = genome_from_dict(g.as_dict())
+        assert back == g
+        assert back.key() == g.key()
+
+    def test_key_is_content_addressed(self):
+        a = DelayVectorGenome((0.25, 0.5))
+        b = DelayVectorGenome((0.25, 0.5))
+        c = DelayVectorGenome((0.5, 0.25))
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        # Kinds never collide even on similar payloads.
+        assert (
+            ChoicePrefixGenome((1, 2)).key()
+            != DelayVectorGenome((1.0, 1.0)).key()
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            genome_from_dict({"kind": "nope"})
+
+    def test_cell_overrides_shapes(self):
+        dv = DelayVectorGenome((0.5,)).cell_overrides()
+        assert dv["delay"]["kind"] == "vector"
+        assert dv["controller"] is None
+        cp = ChoicePrefixGenome((0, 1), laziness=0.5).cell_overrides()
+        assert cp["delay"] == {"kind": "unit"}
+        assert cp["controller"]["kind"] == "replay"
+        assert cp["controller"]["laziness"] == 0.5
+
+    def test_controlled_flags(self):
+        assert not DelayVectorGenome((0.5,)).controlled
+        assert ChoicePrefixGenome((0,)).controlled
+
+
+class TestDelayVectorSpace:
+    def test_sample_respects_bounds(self):
+        space = DelayVectorSpace(length=16)
+        rng = random.Random(0)
+        for _ in range(20):
+            g = space.sample(rng)
+            assert len(g.values) == 16
+            assert all(DEFAULT_LO <= v <= 1.0 for v in g.values)
+
+    def test_mutate_and_crossover_stay_in_bounds(self):
+        space = DelayVectorSpace(length=8)
+        rng = random.Random(1)
+        a, b = space.sample(rng), space.sample(rng)
+        for _ in range(50):
+            a = space.mutate(a, rng)
+            assert all(space.lo <= v <= 1.0 for v in a.values)
+        child = space.crossover(a, b, rng)
+        assert all(v in a.values + b.values for v in child.values)
+
+    def test_fit_sample_round_trip(self):
+        space = DelayVectorSpace(length=4)
+        rng = random.Random(2)
+        elites = [space.sample(rng) for _ in range(6)]
+        params = space.fit(elites)
+        assert len(params) == 4
+        for mean, std in params:
+            assert std >= space.min_std
+        g = space.sample_fit(params, rng)
+        assert all(space.lo <= v <= 1.0 for v in g.values)
+
+    def test_determinism_under_seed(self):
+        space = DelayVectorSpace(length=8)
+        assert (
+            space.sample(random.Random(7))
+            == space.sample(random.Random(7))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DelayVectorSpace(length=0)
+        with pytest.raises(ReproError):
+            DelayVectorSpace(lo=1.5)
+
+
+class TestChoicePrefixSpace:
+    def test_sample_respects_caps(self):
+        space = ChoicePrefixSpace(horizon=10, branch_cap=3, laziness=1.0)
+        rng = random.Random(0)
+        g = space.sample(rng)
+        assert len(g.choices) == 10
+        assert all(0 <= c < 3 for c in g.choices)
+        assert g.laziness == 1.0
+
+    def test_mutate_and_crossover_preserve_shape(self):
+        space = ChoicePrefixSpace(horizon=8, branch_cap=4)
+        rng = random.Random(3)
+        a, b = space.sample(rng), space.sample(rng)
+        m = space.mutate(a, rng)
+        assert len(m.choices) == 8
+        assert m.laziness == a.laziness
+        child = space.crossover(a, b, rng)
+        assert len(child.choices) == 8
+
+    def test_fit_is_a_distribution(self):
+        space = ChoicePrefixSpace(horizon=5, branch_cap=3)
+        rng = random.Random(4)
+        params = space.fit([space.sample(rng) for _ in range(8)])
+        assert len(params) == 5
+        for probs in params:
+            assert len(probs) == 3
+            assert abs(sum(probs) - 1.0) < 1e-9
+            assert all(p > 0 for p in probs)  # Laplace smoothing
+        g = space.sample_fit(params, rng)
+        assert all(0 <= c < 3 for c in g.choices)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ChoicePrefixSpace(horizon=0)
+        with pytest.raises(ReproError):
+            ChoicePrefixSpace(branch_cap=0)

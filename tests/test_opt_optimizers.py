@@ -1,0 +1,109 @@
+"""Ask/tell optimizer laws (repro.opt.optimizers).
+
+Optimizers are tested against cheap synthetic objectives — no engine
+runs here; executor-cell evaluation is covered by test_opt_evaluate.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.opt.genomes import (
+    ChoicePrefixSpace,
+    DelayVectorSpace,
+)
+from repro.opt.optimizers import (
+    OPTIMIZERS,
+    make_optimizer,
+)
+
+
+def vector_objective(genome):
+    """Maximized when every coordinate sits at the upper bound."""
+    return sum(genome.values)
+
+
+def prefix_objective(genome):
+    """Maximized by the all-max choice sequence."""
+    return float(sum(genome.choices))
+
+
+def run_search(optimizer, objective, generations=12, population=12):
+    for _ in range(generations):
+        genomes = optimizer.ask(population)
+        assert len(genomes) == population
+        optimizer.tell([(g, objective(g)) for g in genomes])
+    return optimizer
+
+
+@pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+class TestEveryOptimizer:
+    def test_improves_on_delay_vectors(self, name):
+        space = DelayVectorSpace(length=8)
+        opt = make_optimizer(name, space, seed=1)
+        first = opt.ask(12)
+        opt.tell([(g, vector_objective(g)) for g in first])
+        random_best = opt.best_score
+        run_search(opt, vector_objective)
+        assert opt.best_score >= random_best
+        # Meaningful progress toward the all-ones optimum (= 8.0).
+        assert opt.best_score > 0.8 * 8.0
+
+    def test_improves_on_choice_prefixes(self, name):
+        space = ChoicePrefixSpace(horizon=10, branch_cap=4)
+        opt = make_optimizer(name, space, seed=2)
+        run_search(opt, prefix_objective)
+        # Optimum is 30 (all threes); random mean is 15.
+        assert opt.best_score > 20
+
+    def test_deterministic_under_seed(self, name):
+        def run():
+            opt = make_optimizer(
+                name, DelayVectorSpace(length=6), seed=42
+            )
+            run_search(opt, vector_objective, generations=5)
+            return opt.best_score, opt.best_genome
+
+        assert run() == run()
+
+    def test_none_scores_treated_as_failures(self, name):
+        space = DelayVectorSpace(length=4)
+        opt = make_optimizer(name, space, seed=3)
+        genomes = opt.ask(8)
+        # Everything fails: no incumbent appears.
+        opt.tell([(g, None) for g in genomes])
+        assert opt.best_genome is None
+        assert opt.best_score == float("-inf")
+        # Recovery: later successful generations still search.
+        genomes = opt.ask(8)
+        opt.tell([(g, vector_objective(g)) for g in genomes])
+        assert opt.best_genome is not None
+        assert opt.best_score > 0
+
+    def test_incumbent_never_regresses(self, name):
+        space = DelayVectorSpace(length=6)
+        opt = make_optimizer(name, space, seed=4)
+        incumbents = []
+        for _ in range(8):
+            genomes = opt.ask(10)
+            opt.tell([(g, vector_objective(g)) for g in genomes])
+            incumbents.append(opt.best_score)
+        assert incumbents == sorted(incumbents)
+
+    def test_tie_break_is_ask_order(self, name):
+        space = DelayVectorSpace(length=4)
+        opt = make_optimizer(name, space, seed=5)
+        genomes = opt.ask(6)
+        opt.tell([(g, 1.0) for g in genomes])
+        assert opt.best_genome == genomes[0]
+
+
+def test_unknown_optimizer_rejected():
+    with pytest.raises(ReproError):
+        make_optimizer("gradient-descent", DelayVectorSpace())
+
+
+def test_generation_counter_advances():
+    opt = make_optimizer("cem", DelayVectorSpace(length=4), seed=0)
+    for expected in (1, 2, 3):
+        opt.tell([(g, 1.0) for g in opt.ask(4)])
+        assert opt.generation == expected

@@ -89,6 +89,8 @@ SAMPLE_FIELDS = {
     "worstcase_stats": {"algorithm": "flooding", "objective": "time",
                         "evaluations": 61, "best_score": 4.999,
                         "policy": "feed-awake"},
+    "opt_generation": {"optimizer": "cem", "generation": 3,
+                       "population": 16, "best": 4.75, "incumbent": 4.999},
     "shrink_stats": {"invariant": "fifo-per-channel", "tests": 37,
                      "from_len": 12, "to_len": 2, "reduction": 10},
     "metrics_snapshot": {

@@ -252,6 +252,18 @@ class TestAlgorithmSalts:
         vec = V.replay_salt_vector()
         assert set(vec) == {"engine", "check"}
 
+    def test_atlas_salt_vector_shape(self):
+        plain = V.atlas_salt_vector("flooding")
+        assert plain == V.cell_salt_vector("flooding")
+        controlled = V.atlas_salt_vector("flooding", controlled=True)
+        assert set(controlled) == {
+            "engine", "graphs", "algorithms", "check",
+        }
+        assert controlled["check"] == V.subsystem_salt("check")
+        # The opt salt itself joins neither: strategy edits must not
+        # invalidate committed frontier entries.
+        assert "opt" not in plain and "opt" not in controlled
+
 
 # ----------------------------------------------------------------------
 # Edit sensitivity over a real (sandboxed) package copy
@@ -303,7 +315,7 @@ class TestEditSensitivity:
         )
         # Only the algorithms subsystem moved...
         assert edited["vector"]["algorithms"] != base["vector"]["algorithms"]
-        for sub in ("engine", "graphs", "check", "harness"):
+        for sub in ("engine", "graphs", "check", "opt", "harness"):
             assert edited["vector"][sub] == base["vector"][sub]
         # ...and within it, spanner-advice moved while flooding held.
         assert edited["spanner"] != base["spanner"]
@@ -330,9 +342,27 @@ class TestEditSensitivity:
             ),
         )
         assert edited["vector"]["engine"] != base["vector"]["engine"]
-        for sub in ("graphs", "algorithms", "check", "harness"):
+        for sub in ("graphs", "algorithms", "check", "opt", "harness"):
             assert edited["vector"][sub] == base["vector"][sub]
         # Every algorithm's cells still depend on the engine salt via
         # cell_salt_vector, but the *algorithm* salts hold.
         assert edited["flooding"] == base["flooding"]
         assert edited["spanner"] == base["spanner"]
+
+    def test_opt_edit_moves_opt_only(self, tmp_path):
+        """An optimizer-strategy edit moves the opt salt and nothing
+        else — search code picks candidates but never executes them,
+        so no cell cache entry (and no atlas salt vector) depends on
+        it."""
+        base = self._salts_for_tree(tmp_path)
+        edited = self._salts_for_tree(
+            tmp_path / "edited",
+            edit=(
+                "opt/optimizers.py",
+                lambda s: s + "\nSMOKE_TOKEN = 3\n",
+            ),
+        )
+        assert edited["vector"]["opt"] != base["vector"]["opt"]
+        for sub in ("engine", "graphs", "algorithms", "check",
+                    "harness"):
+            assert edited["vector"][sub] == base["vector"][sub]
